@@ -1,0 +1,15 @@
+"""Benchmark configuration.
+
+Every paper figure/table has one benchmark that regenerates its data series
+(at reduced trial counts — the statistics are coarser than the experiment
+modules' defaults but the qualitative shape assertions still hold). Heavy
+end-to-end benches run a single round; cheap kernels use pytest-benchmark's
+default calibration.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

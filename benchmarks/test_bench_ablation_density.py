@@ -1,0 +1,44 @@
+"""Ablation: code density (sparsity of D) vs decode cost.
+
+§6(d) motivates a *sparse* D: fewer colliders per slot → fewer BP local
+minima and cheaper updates; but too sparse → poor coverage → more slots.
+This bench sweeps the expected-colliders knob and regenerates the trade-off
+curve, verifying the interior optimum the default (5 colliders) sits near.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.config import BuzzConfig
+from repro.core.rateless import run_rateless_uplink
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelModel
+
+MODEL = ChannelModel(mean_snr_db=24.0, near_far_db=10.0, noise_std=0.1)
+
+
+def _mean_slots(colliders: float, k: int = 12, trials: int = 6) -> float:
+    cfg = BuzzConfig(density_colliders=colliders)
+    slots = []
+    for trial in range(trials):
+        rng = np.random.default_rng(trial)
+        pop = make_population(k, rng, channel_model=MODEL, message_bits=24)
+        for tag in pop.tags:
+            tag.draw_temp_id(10 * k * k, rng)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_uplink(pop.tags, fe, rng, config=cfg)
+        slots.append(result.slots_used if result.decoded_mask.all() else 10 * k)
+    return float(np.mean(slots))
+
+
+def test_bench_ablation_density(benchmark):
+    curve = run_once(
+        benchmark,
+        lambda: {c: _mean_slots(c) for c in (1.5, 3.0, 5.0, 8.0)},
+    )
+    print()
+    for colliders, slots in curve.items():
+        print(f"  colliders={colliders:4.1f}  mean slots={slots:6.1f}")
+    # Too sparse costs coverage; the default density must beat it.
+    assert curve[5.0] < curve[1.5]

@@ -1,0 +1,41 @@
+"""Ablation: Stage-1 estimator accuracy vs slots-per-step s (Lemma 5.1).
+
+Lemma 5.1 guarantees K̂ = (1±ε)K when s = C·log(1/δ)/ε². The paper runs
+s = 4 (coarse but sufficient); this bench sweeps s and regenerates the
+accuracy/cost trade-off.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.config import BuzzConfig
+from repro.core.kestimate import estimate_k
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelModel
+
+MODEL = ChannelModel(mean_snr_db=22.0, near_far_db=8.0, noise_std=0.1)
+
+
+def _accuracy(s: int, k: int = 16, trials: int = 25):
+    cfg = BuzzConfig(slots_per_step=s)
+    estimates, slots = [], []
+    for trial in range(trials):
+        pop = make_population(k, np.random.default_rng(1000 + trial), channel_model=MODEL)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = estimate_k(pop.tags, fe, np.random.default_rng(trial), cfg)
+        estimates.append(result.k_hat)
+        slots.append(result.slots_used)
+    rel_err = np.abs(np.array(estimates) - k) / k
+    return float(rel_err.mean()), float(np.mean(slots))
+
+
+def test_bench_ablation_kest(benchmark):
+    sweep = run_once(benchmark, lambda: {s: _accuracy(s) for s in (2, 4, 16, 64)})
+    print()
+    for s, (err, slots) in sweep.items():
+        print(f"  s={s:3d}: mean relative error={100 * err:5.1f}%  slots={slots:6.1f}")
+    # More slots per step → tighter estimate (Lemma 5.1's ε ~ 1/√s).
+    assert sweep[64][0] < sweep[2][0]
+    # But also a proportionally larger slot bill.
+    assert sweep[64][1] > sweep[4][1]

@@ -1,0 +1,56 @@
+"""Ablation: §8.2's rejected design — ACK-silencing decoded tags.
+
+The paper estimates ~75 % ACK overhead to silence 14 tags and concludes it
+isn't worth it. This bench measures both variants on identical populations:
+silencing saves per-tag transmissions (energy) but the ACK airtime makes
+the *total* transfer slower — the paper's conclusion, now with numbers.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.rateless import run_rateless_uplink
+from repro.core.silencing import run_rateless_with_silencing
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelModel
+
+MODEL = ChannelModel(mean_snr_db=24.0, near_far_db=10.0, noise_std=0.1)
+
+
+def _compare(k: int = 12, trials: int = 6):
+    plain_time = silenced_time = 0.0
+    plain_tx = silenced_tx = 0.0
+    for trial in range(trials):
+        rng = np.random.default_rng(trial)
+        pop = make_population(k, rng, channel_model=MODEL, message_bits=24)
+        for tag in pop.tags:
+            tag.draw_temp_id(10 * k * k, rng)
+        fe = ReaderFrontEnd(noise_std=0.1)
+
+        plain = run_rateless_uplink(pop.tags, fe, np.random.default_rng(1000 + trial))
+        silenced = run_rateless_with_silencing(
+            pop.tags, fe, np.random.default_rng(1000 + trial)
+        )
+        plain_time += plain.duration_s
+        silenced_time += silenced.duration_s
+        plain_tx += plain.transmissions.mean()
+        silenced_tx += silenced.transmissions.mean()
+    return {
+        "plain_time_ms": 1e3 * plain_time / trials,
+        "silenced_time_ms": 1e3 * silenced_time / trials,
+        "plain_tx": plain_tx / trials,
+        "silenced_tx": silenced_tx / trials,
+    }
+
+
+def test_bench_ablation_silencing(benchmark):
+    stats = run_once(benchmark, _compare)
+    print()
+    print(f"  plain   : {stats['plain_time_ms']:6.2f} ms, {stats['plain_tx']:.2f} tx/tag")
+    print(f"  silenced: {stats['silenced_time_ms']:6.2f} ms, {stats['silenced_tx']:.2f} tx/tag")
+    # Silencing must save transmissions (its whole point)...
+    assert stats["silenced_tx"] <= stats["plain_tx"] + 0.01
+    # ...but the ACK overhead keeps it from beating the plain design by a
+    # meaningful margin (the paper's argument for not silencing).
+    assert stats["silenced_time_ms"] > 0.85 * stats["plain_time_ms"]

@@ -1,0 +1,20 @@
+"""Benchmark for Fig. 10: total transfer time vs K, Buzz vs TDMA vs CDMA."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_transfer_time
+
+
+def test_bench_fig10(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig10_transfer_time.run(tag_counts=(4, 8, 12, 16), n_locations=3, n_traces=2),
+    )
+    print()
+    print(fig10_transfer_time.render(result))
+    # Shape: Buzz faster than both baselines on average; times grow with K.
+    assert result.buzz_speedup_over("tdma") > 1.0
+    assert result.buzz_speedup_over("cdma") > 1.0
+    times = [result.mean_time_ms("tdma", k) for k in (4, 8, 12, 16)]
+    assert times == sorted(times)
+    # The Walsh-16 anomaly: CDMA at K=12 costs as much as K=16.
+    assert abs(result.mean_time_ms("cdma", 12) - result.mean_time_ms("cdma", 16)) < 0.2

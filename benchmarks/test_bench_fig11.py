@@ -1,0 +1,22 @@
+"""Benchmark for Fig. 11: message reliability vs K."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_message_errors
+
+
+def test_bench_fig11(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig11_message_errors.run(
+            tag_counts=(4, 8, 12, 16), n_locations=4, n_traces=2
+        ),
+    )
+    print()
+    print(fig11_message_errors.render(result))
+    for k in (4, 8, 12, 16):
+        # Buzz's rateless code delivers everything.
+        assert result.mean_undecoded("buzz", k) == 0.0
+    # CDMA is the least reliable scheme overall.
+    cdma_total = sum(result.mean_undecoded("cdma", k) for k in (4, 8, 12, 16))
+    tdma_total = sum(result.mean_undecoded("tdma", k) for k in (4, 8, 12, 16))
+    assert cdma_total > tdma_total

@@ -1,0 +1,21 @@
+"""Benchmark for Fig. 12: challenging channels — rateless adaptation below 1 b/sym."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_challenging
+
+
+def test_bench_fig12(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig12_challenging.run(n_locations=4, n_traces=2),
+    )
+    print()
+    print(fig12_challenging.render(result))
+    # Buzz adapts: rate falls monotonically-ish from the easy to hard bands
+    assert result.buzz_rate[0] > result.buzz_rate[-1]
+    # and drops below 1 bit/symbol under challenging conditions.
+    assert result.buzz_rate[-1] < 1.0
+    # Buzz delivers more than both baselines in the hardest band.
+    assert result.buzz_decoded[-1] >= result.tdma_decoded[-1]
+    assert result.cdma_loss_fraction[-1] > 0.9  # CDMA ~100 % loss (paper)
+    assert result.buzz_loss_fraction[-1] < 0.15

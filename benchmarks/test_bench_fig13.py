@@ -1,0 +1,21 @@
+"""Benchmark for Fig. 13: per-query tag energy, three schemes × three voltages."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_energy
+
+
+def test_bench_fig13(benchmark):
+    result = run_once(
+        benchmark, lambda: fig13_energy.run(n_tags=8, n_locations=4, n_traces=1)
+    )
+    print()
+    print(fig13_energy.render(result))
+    for v in (3.0, 4.0, 5.0):
+        tdma = result.mean_energy_uj("tdma", v)
+        buzz = result.mean_energy_uj("buzz", v)
+        cdma = result.mean_energy_uj("cdma", v)
+        # Paper ordering: TDMA ≤ Buzz ≪ CDMA.
+        assert tdma < cdma
+        assert buzz < cdma
+    # Voltage scaling (constant-current regulator → linear growth).
+    assert result.mean_energy_uj("tdma", 5.0) > result.mean_energy_uj("tdma", 3.0)

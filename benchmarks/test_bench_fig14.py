@@ -1,0 +1,21 @@
+"""Benchmark for Fig. 14: identification time — Buzz vs FSA vs FSA+K̂."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_identification
+
+
+def test_bench_fig14(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig14_identification.run(tag_counts=(4, 8, 12, 16), n_locations=6),
+    )
+    print()
+    print(fig14_identification.render(result))
+    # Paper: 5.5× at K = 16. Allow a generous band around it.
+    assert 3.5 < result.speedup_over_fsa(16) < 9.0
+    assert result.speedup_over_fsa_khat(16) > 3.0
+    # Identification accuracy must be high for the comparison to be fair.
+    assert result.buzz_exact_fraction[16] >= 0.8
+    # Time grows with K for every protocol.
+    for times in (result.buzz_ms, result.fsa_ms):
+        assert times[4] < times[16]

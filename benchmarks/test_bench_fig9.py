@@ -1,0 +1,16 @@
+"""Benchmark for Fig. 9: the BP decoder's ripple on a 14-tag transfer."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_decoding_progress
+
+
+def test_bench_fig9(benchmark):
+    result = run_once(
+        benchmark, lambda: fig9_decoding_progress.run(n_tags=14, message_bits=91)
+    )
+    assert result.all_decoded
+    # Paper: 14 tags in 10 slots; we allow head-room but demand > 0.8 b/sym.
+    assert result.total_slots <= 18
+    assert result.final_rate_bits_per_symbol > 0.75
+    # The ripple: early slots decode multiple tags at once.
+    assert max(result.newly_decoded) >= 3

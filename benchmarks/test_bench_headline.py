@@ -1,0 +1,17 @@
+"""Benchmark for the paper's headline: 3.5× overall communication efficiency."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import headline
+
+
+def test_bench_headline(benchmark):
+    result = run_once(
+        benchmark, lambda: headline.run(tag_counts=(4, 8, 16), n_locations=4, n_traces=2)
+    )
+    print()
+    print(headline.render(result))
+    # Paper: 3.5× overall (5.5× identification × 2× data, time-weighted).
+    assert result.overall_gain > 2.0
+    for k in (4, 8, 16):
+        assert result.gain(k) > 1.5
+        assert result.identification_speedup[k] > 3.0

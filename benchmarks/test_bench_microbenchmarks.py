@@ -1,0 +1,45 @@
+"""Benchmarks for the paper's microbenchmarks: Tables 1-2, Figs. 2, 3, 7, 8."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    fig2_waveforms,
+    fig3_constellation,
+    fig7_sync_offset,
+    fig8_clock_drift,
+    toy_example,
+)
+
+
+def test_bench_toy_example(benchmark):
+    """Tables 1-2: collision patterns improve id distinguishability."""
+    result = benchmark(lambda: toy_example.run(n_trials=10_000))
+    assert result.option2_exact < result.option1_exact
+    assert result.collision_sums_distinct
+
+
+def test_bench_fig2(benchmark):
+    """Fig. 2: two-level single-tag trace, four-level collision trace."""
+    result = run_once(benchmark, lambda: fig2_waveforms.run())
+    assert result.single_levels == 2
+    assert result.collision_levels == 4
+
+
+def test_bench_fig3(benchmark):
+    """Fig. 3: 2-point vs 4-point collision constellations."""
+    result = benchmark(lambda: fig3_constellation.run(n_symbols=1000))
+    assert result.single_points == 2
+    assert result.double_points == 4
+
+
+def test_bench_fig7(benchmark):
+    """Fig. 7: sync-offset CDF matches the paper's percentiles."""
+    result = benchmark(lambda: fig7_sync_offset.run(trials=40))
+    assert result.max_us("moo") < 1.0
+    assert result.max_us("commercial") < 1.0
+
+
+def test_bench_fig8(benchmark):
+    """Fig. 8: ~50 % misalignment uncorrected, ~0 % corrected."""
+    result = benchmark(lambda: fig8_clock_drift.run())
+    assert 0.4 < result.final_uncorrected < 0.6
+    assert result.final_corrected < 0.02

@@ -1,0 +1,60 @@
+"""Rateless adaptation under worsening channels (the Fig. 12 story).
+
+Four tags are pushed further and further from the reader. TDMA, pinned at
+1 bit/symbol, starts losing messages; the same tags under Buzz simply take
+more collision slots — the aggregate rate slides below 1 bit/symbol and
+everything is still delivered.
+
+Run:  python examples/challenging_channel.py
+"""
+
+import numpy as np
+
+from repro.baselines import run_cdma_uplink, run_tdma_uplink
+from repro.core import run_rateless_uplink
+from repro.network.scenarios import CHALLENGING_SNR_BANDS, challenging_scenario
+from repro.nodes import ReaderFrontEnd
+
+
+def main() -> None:
+    print("Four tags, five SNR bands (paper Fig. 12 labels), 3 trials each\n")
+    header = f"{'SNR band':>10} | {'Buzz del':>8} {'b/sym':>6} | {'TDMA del':>8} | {'CDMA del':>8}"
+    print(header)
+    print("-" * len(header))
+
+    for band in CHALLENGING_SNR_BANDS:
+        scenario = challenging_scenario(band, n_tags=4)
+        buzz_delivered = tdma_delivered = cdma_delivered = 0
+        buzz_rates = []
+        trials = 3
+        for trial in range(trials):
+            rng = np.random.default_rng(1000 * band[0] + trial)
+            population = scenario.draw_population(rng)
+            front_end = ReaderFrontEnd(noise_std=population.noise_std)
+            for tag in population.tags:
+                tag.draw_temp_id(160, rng)
+
+            buzz = run_rateless_uplink(population.tags, front_end, rng)
+            tdma = run_tdma_uplink(population.tags, front_end, rng)
+            cdma = run_cdma_uplink(population.tags, front_end, rng)
+
+            buzz_delivered += buzz.n_decoded
+            tdma_delivered += tdma.n_decoded
+            cdma_delivered += cdma.n_decoded
+            buzz_rates.append(buzz.bits_per_symbol())
+
+        total = 4 * trials
+        print(
+            f"{band[0]:>4}-{band[1]:<5} | "
+            f"{buzz_delivered:>4}/{total:<3} {np.mean(buzz_rates):>6.2f} | "
+            f"{tdma_delivered:>4}/{total:<3} | "
+            f"{cdma_delivered:>4}/{total:<3}"
+        )
+
+    print("\nBuzz trades rate for reliability automatically: no feedback, no")
+    print("per-tag rate selection — tags just keep colliding until the reader")
+    print("has heard enough (paper section 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Periodic backscatter network: a data-centre temperature heat map (§4b).
+
+Battery-free sensors report temperature every epoch. The set of reporting
+nodes is fixed, so there is no identification phase: ids are assigned
+statically and every epoch runs only Buzz's rateless data phase. The script
+simulates several epochs with drifting temperatures and a rack of sensors
+at very different distances (strong near-far), and shows the aggregate rate
+adapting epoch by epoch while every reading is still delivered.
+
+Run:  python examples/datacenter_heatmap.py
+"""
+
+import numpy as np
+
+from repro.core import BuzzSystem
+from repro.nodes import ReaderFrontEnd, make_population
+from repro.phy.channel import ChannelModel
+from repro.utils.bits import bits_from_int, bits_to_int
+from repro.coding.crc import CRC5_GEN2, crc_append
+
+N_SENSORS = 12
+EPOCHS = 5
+TEMP_BITS = 10  # 0.1 °C resolution over 0..102.3 °C
+
+
+def encode_reading(temp_c: float) -> np.ndarray:
+    """Sensor-side encoding: 10-bit fixed-point temperature + CRC-5."""
+    value = int(round(max(0.0, min(102.3, temp_c)) * 10))
+    return crc_append(bits_from_int(value, TEMP_BITS), CRC5_GEN2)
+
+
+def decode_reading(message: np.ndarray) -> float:
+    """Reader-side decoding of a delivered message."""
+    return bits_to_int(message[:TEMP_BITS]) / 10.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(seed=21)
+    # A rack of sensors: nearby intake sensors and far-away exhaust ones.
+    model = ChannelModel(mean_snr_db=20.0, near_far_db=18.0, noise_std=0.1)
+    population = make_population(
+        N_SENSORS, rng, channel_model=model, message_bits=TEMP_BITS
+    )
+    for i, tag in enumerate(population.tags):
+        tag.temp_id = i  # static schedule: ids assigned at deployment
+
+    system = BuzzSystem(front_end=ReaderFrontEnd(noise_std=population.noise_std))
+    temperatures = 22.0 + 6.0 * rng.random(N_SENSORS)
+
+    print(f"{N_SENSORS} battery-free sensors, {EPOCHS} reporting epochs")
+    for epoch in range(EPOCHS):
+        # temperatures drift; hot spots heat faster
+        temperatures += rng.normal(0.3, 0.4, N_SENSORS)
+        for tag, temp in zip(population.tags, temperatures):
+            tag.message = encode_reading(float(temp))
+
+        result = system.run_data_phase(population.tags, rng)
+        readings = [decode_reading(m) for m in result.messages]
+        delivered = int(result.decoded_mask.sum())
+        errors = sum(
+            1
+            for i in range(N_SENSORS)
+            if result.decoded_mask[i] and abs(readings[i] - round(temperatures[i], 1)) > 0.05
+        )
+        hottest = int(np.argmax(readings))
+        print(
+            f"  epoch {epoch}: delivered {delivered}/{N_SENSORS} readings in "
+            f"{result.slots_used} slots ({result.bits_per_symbol():.2f} b/sym), "
+            f"decode errors={errors}, hottest sensor #{hottest} at {readings[hottest]:.1f} C"
+        )
+
+    print("\nEvery epoch ran without an identification phase (static ids) —")
+    print("the periodic-network mode of paper section 4(b).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The paper's motivating application: a shopping cart at the checkout.
+
+20 tagged items pass a reader (§4a's event-driven mode). The reader must
+(1) discover *which* items are present — Buzz's compressive-sensing
+identification against the Gen-2 Framed Slotted ALOHA baseline — and
+(2) collect each item's 96-bit record with the rateless collision code
+against sequential TDMA. The script compares both phases on the same cart.
+
+Run:  python examples/shopping_cart.py
+"""
+
+import numpy as np
+
+from repro.baselines import run_tdma_uplink
+from repro.core import BuzzSystem
+from repro.gen2 import FsaConfig, run_fsa_inventory
+from repro.network.scenarios import shopping_cart_scenario
+from repro.nodes import ReaderFrontEnd
+
+
+def main() -> None:
+    cart = shopping_cart_scenario(n_items_in_cart=20, message_bits=96)
+    population = cart.draw_population(np.random.default_rng(seed=11))
+    front_end = ReaderFrontEnd(noise_std=population.noise_std)
+    print(f"Cart contents: {len(population)} tagged items "
+          f"(96-bit records, SNRs {population.snrs_db().min():.0f}"
+          f"..{population.snrs_db().max():.0f} dB)")
+
+    # ---------------- Buzz checkout ----------------------------------------
+    rng = np.random.default_rng(seed=12)
+    buzz = BuzzSystem(front_end=front_end).run(population.tags, rng)
+    print("\nBuzz checkout:")
+    print(f"  identification : {1e3 * buzz.identification.duration_s:6.2f} ms "
+          f"(exact = {buzz.identification.exact})")
+    print(f"  data transfer  : {1e3 * buzz.data.duration_s:6.2f} ms "
+          f"at {buzz.data.bits_per_symbol():.2f} bits/symbol")
+    print(f"  total          : {1e3 * buzz.total_duration_s:6.2f} ms, "
+          f"items delivered {buzz.data.n_decoded}/{len(population)}")
+
+    # ---------------- Gen-2 checkout (FSA + TDMA) --------------------------
+    rng = np.random.default_rng(seed=13)
+    fsa = run_fsa_inventory(FsaConfig(n_tags=len(population)), rng)
+    tdma = run_tdma_uplink(population.tags, front_end, rng)
+    gen2_total = fsa.total_time_s + tdma.duration_s
+    print("\nGen-2 checkout (FSA identification + TDMA transfer):")
+    print(f"  identification : {1e3 * fsa.total_time_s:6.2f} ms "
+          f"({fsa.slots_used} slots, {fsa.collision_slots} collisions)")
+    print(f"  data transfer  : {1e3 * tdma.duration_s:6.2f} ms at 1.00 bits/symbol")
+    print(f"  total          : {1e3 * gen2_total:6.2f} ms, "
+          f"items delivered {tdma.n_decoded}/{len(population)}")
+
+    print("\nWhere Buzz wins the checkout:")
+    print(f"  identification (the checkout's core — the ids ARE the items): "
+          f"{fsa.total_time_s / buzz.identification.duration_s:.1f}x faster "
+          f"(paper: 5.5x)")
+    print(f"  end-to-end with the optional 96-bit per-item records: "
+          f"{gen2_total / buzz.total_duration_s:.1f}x")
+    print("  (long messages at K=20 are where this reproduction's stricter")
+    print("   message verification costs rate — see EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a signal-level reproduction of Buzz (SIGCOMM 2012).
+
+Wang, Hassanieh, Katabi, Indyk: *Efficient and Reliable Low-Power
+Backscatter Networks*. The package implements the paper's two protocols —
+compressive-sensing node identification and distributed rateless rate
+adaptation — together with every substrate they stand on (backscatter PHY,
+EPC Gen-2 link layer, sparse-recovery solvers, TDMA/CDMA baselines) and an
+experiment harness that regenerates each figure and table of the paper's
+evaluation.
+
+Entry points:
+
+>>> from repro.core import BuzzSystem
+>>> from repro.network.scenarios import default_uplink_scenario
+>>> from repro.nodes import ReaderFrontEnd
+
+See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the
+reproduction methodology and measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

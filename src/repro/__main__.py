@@ -1,0 +1,75 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro                 # run every experiment (full size)
+    python -m repro fig10 fig14     # run a subset
+    python -m repro --quick         # reduced trial counts (~2 minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig2_waveforms,
+    fig3_constellation,
+    fig7_sync_offset,
+    fig8_clock_drift,
+    fig9_decoding_progress,
+    fig10_transfer_time,
+    fig11_message_errors,
+    fig12_challenging,
+    fig13_energy,
+    fig14_identification,
+    headline,
+    toy_example,
+)
+
+_EXPERIMENTS = {
+    "toy": (toy_example, {}, {}),
+    "fig2": (fig2_waveforms, {}, {}),
+    "fig3": (fig3_constellation, {}, {"n_symbols": 500}),
+    "fig7": (fig7_sync_offset, {}, {"trials": 20}),
+    "fig8": (fig8_clock_drift, {}, {}),
+    "fig9": (fig9_decoding_progress, {}, {}),
+    "fig10": (fig10_transfer_time, {}, {"n_locations": 3, "n_traces": 1}),
+    "fig11": (fig11_message_errors, {}, {"n_locations": 3, "n_traces": 1}),
+    "fig12": (fig12_challenging, {}, {"n_locations": 3, "n_traces": 1}),
+    "fig13": (fig13_energy, {}, {"n_locations": 3, "n_traces": 1}),
+    "fig14": (fig14_identification, {}, {"n_locations": 4}),
+    "headline": (headline, {}, {"n_locations": 3, "n_traces": 1}),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Buzz paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*_EXPERIMENTS, []],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced trial counts for a fast pass"
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(_EXPERIMENTS)
+    for name in names:
+        module, full_kwargs, quick_kwargs = _EXPERIMENTS[name]
+        kwargs = quick_kwargs if args.quick else full_kwargs
+        start = time.time()
+        print(f"===== {name} =====")
+        print(module.render(module.run(**kwargs)))
+        print(f"[{time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

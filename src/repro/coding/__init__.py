@@ -1,0 +1,60 @@
+"""Link-layer and line coding used by backscatter systems.
+
+Contents:
+
+* :mod:`repro.coding.crc` — EPC Gen-2 CRC-5 and CRC-16 (the paper's
+  messages carry a 5-bit CRC; Gen-2 frames use CRC-16).
+* :mod:`repro.coding.fm0` / :mod:`repro.coding.miller` — the Gen-2 uplink
+  line codes. TDMA in the paper protects messages with Miller-4, which
+  trades 8× more impedance switching for noise robustness.
+* :mod:`repro.coding.walsh` — Walsh-Hadamard orthogonal codes for the
+  synchronous-CDMA baseline.
+* :mod:`repro.coding.prng` — the deterministic per-tag pseudorandom
+  generator both the tags and the reader run (a 16-bit Galois LFSR plus a
+  stateless hash-based slot-decision function), the mechanism that lets the
+  reader regenerate the sensing matrix A and collision matrix D.
+"""
+
+from repro.coding.crc import (
+    CRC5_GEN2,
+    CRC16_GEN2,
+    CrcSpec,
+    crc_append,
+    crc_check,
+    crc_compute,
+)
+from repro.coding.fm0 import fm0_decode, fm0_encode
+from repro.coding.miller import (
+    miller_basis,
+    miller_decode,
+    miller_encode,
+    miller_switch_count,
+)
+from repro.coding.prng import (
+    TagLfsr,
+    slot_decision,
+    transmit_pattern,
+    transmit_pattern_matrix,
+)
+from repro.coding.walsh import walsh_code_length, walsh_codes
+
+__all__ = [
+    "CRC16_GEN2",
+    "CRC5_GEN2",
+    "CrcSpec",
+    "TagLfsr",
+    "crc_append",
+    "crc_check",
+    "crc_compute",
+    "fm0_decode",
+    "fm0_encode",
+    "miller_basis",
+    "miller_decode",
+    "miller_encode",
+    "miller_switch_count",
+    "slot_decision",
+    "transmit_pattern",
+    "transmit_pattern_matrix",
+    "walsh_code_length",
+    "walsh_codes",
+]

@@ -1,0 +1,116 @@
+"""Per-tag pseudorandom generators shared by tags and reader.
+
+Buzz's protocols hinge on the reader being able to *regenerate* each tag's
+random decisions (§5: "the reader can generate this matrix by using the same
+pseudorandom number generator used by the nodes"). Two generators are
+provided:
+
+* :class:`TagLfsr` — a 16-bit Galois LFSR of the kind Gen-2 tags already
+  contain for RN16 generation. Stateful, cheap enough for an RFID tag.
+* :func:`slot_decision` — a *stateless* keyed decision: a 64-bit integer
+  hash of ``(seed, slot)`` compared against a probability. This mirrors the
+  paper's rate-adaptation protocol where the generator is "seeded by its own
+  temporary id and the current time slot" (§6a), and makes reader-side
+  regeneration of any slot O(1) without replaying a stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive_int, ensure_probability
+
+__all__ = ["TagLfsr", "slot_decision", "transmit_pattern", "transmit_pattern_matrix"]
+
+#: Taps of the 16-bit Galois LFSR: x^16 + x^14 + x^13 + x^11 + 1 (maximal).
+_LFSR_TAPS = 0xB400
+
+
+class TagLfsr:
+    """16-bit Galois LFSR — the tag-feasible PRNG of the identification phase.
+
+    A zero seed is remapped to a fixed non-zero state (an LFSR locks up at
+    zero). The sequence is deterministic in the seed, so the reader can
+    regenerate any tag's transmit pattern from its id.
+    """
+
+    def __init__(self, seed: int):
+        state = int(seed) & 0xFFFF
+        self.state = state if state else 0xACE1
+        self._initial = self.state
+
+    def reset(self) -> None:
+        """Rewind to the construction state."""
+        self.state = self._initial
+
+    def next_bit(self) -> int:
+        """Advance one step and return the output bit."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= _LFSR_TAPS
+        return out
+
+    def bits(self, n: int) -> np.ndarray:
+        """The next ``n`` output bits as a uint8 array."""
+        ensure_positive_int(n, "n")
+        return np.array([self.next_bit() for _ in range(n)], dtype=np.uint8)
+
+    def uniform(self) -> float:
+        """A uniform [0, 1) variate built from the next 16 output bits."""
+        value = 0
+        for _ in range(16):
+            value = (value << 1) | self.next_bit()
+        return value / 65536.0
+
+    def bernoulli(self, p: float) -> int:
+        """1 with probability ``p`` (16-bit resolution), else 0."""
+        ensure_probability(p, "p")
+        return 1 if self.uniform() < p else 0
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finaliser — a high-quality stateless 64-bit mix."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+def slot_decision(seed: int, slot: int, p: float, salt: int = 0) -> int:
+    """Stateless transmit decision for ``(seed, slot)`` with probability ``p``.
+
+    Both a tag (knowing only its own seed) and the reader (knowing all
+    seeds) evaluate this identically, which is what lets the reader rebuild
+    the collision matrix D of Eq. 7 without any per-slot signalling.
+    """
+    ensure_probability(p, "p")
+    h = _mix64(((int(seed) & 0xFFFFFFFF) << 32) ^ (int(slot) & 0xFFFFFFFF) ^ (int(salt) << 17))
+    return 1 if (h >> 11) / float(1 << 53) < p else 0
+
+
+def transmit_pattern(seed: int, n_slots: int, p: float = 0.5, salt: int = 0) -> np.ndarray:
+    """A tag's binary transmit pattern over ``n_slots`` slots.
+
+    Column ``A[:, i]`` of the identification sensing matrix for tag ``i``.
+    """
+    ensure_positive_int(n_slots, "n_slots")
+    return np.array(
+        [slot_decision(seed, j, p, salt) for j in range(n_slots)], dtype=np.uint8
+    )
+
+
+def transmit_pattern_matrix(
+    seeds: Sequence[int], n_slots: int, p: float = 0.5, salt: int = 0
+) -> np.ndarray:
+    """Stack transmit patterns into the ``(n_slots, len(seeds))`` matrix.
+
+    This is exactly the (sub)matrix the reader regenerates during Stage 3 of
+    identification (A′ of Eq. 5) and during rateless decoding (D of Eq. 7).
+    """
+    cols = [transmit_pattern(s, n_slots, p, salt) for s in seeds]
+    if not cols:
+        return np.zeros((n_slots, 0), dtype=np.uint8)
+    return np.stack(cols, axis=1)

@@ -1,0 +1,40 @@
+"""Walsh-Hadamard orthogonal codes for the synchronous-CDMA baseline.
+
+Walsh codes of length ``n`` (a power of two) are the rows of the Sylvester
+Hadamard matrix; any two distinct rows are exactly orthogonal **when chip-
+aligned**. The paper's CDMA baseline assigns each of K tags a distinct Walsh
+code with spreading factor equal to the smallest power of two ≥ K (hence the
+K = 12 anomaly in Figs. 10/11: no length-12 Walsh set exists, so length 16
+is used).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["walsh_codes", "walsh_code_length"]
+
+
+def walsh_code_length(n_users: int) -> int:
+    """Smallest power of two ≥ ``n_users`` — the usable spreading factor."""
+    ensure_positive_int(n_users, "n_users")
+    length = 1
+    while length < n_users:
+        length *= 2
+    return length
+
+
+def walsh_codes(length: int) -> np.ndarray:
+    """The ``length × length`` Walsh code set (±1 entries).
+
+    Row 0 is all-ones; rows are mutually orthogonal: ``W @ W.T = length·I``.
+    """
+    ensure_positive_int(length, "length")
+    if length & (length - 1):
+        raise ValueError(f"Walsh code length must be a power of two, got {length}")
+    w = np.array([[1.0]])
+    while w.shape[0] < length:
+        w = np.block([[w, w], [w, -w]])
+    return w

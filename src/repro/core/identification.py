@@ -1,0 +1,198 @@
+"""The full three-stage Buzz identification protocol (paper §5).
+
+Pipeline:
+
+1. **Estimate K** (:mod:`repro.core.kestimate`) — ``s·j*`` slots.
+2. **Draw temporary ids & bucket** (:mod:`repro.core.bucketing`) — each
+   active node picks a temporary id uniformly from the ``a·c·K̂`` space and
+   reflects in its bucket's slot; empty buckets eliminate ids — ``c·K̂``
+   slots.
+3. **Compressive sensing** — surviving candidates' pseudorandom patterns
+   form the reduced matrix A′; the reader solves ``y = A′z′`` by L1
+   minimization and reads off the active ids *and their complex channels*
+   — ``M ≈ K̂·log a`` slots.
+
+If two active nodes drew the same temporary id they are indistinguishable
+(the recovered channel is their sum); the reader detects the resulting CRC
+chaos later and restarts — we surface this as ``duplicate_ids`` plus a
+retry loop, mirroring "the reader starts over as is the case in today's
+RFID systems".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.prng import slot_decision, transmit_pattern_matrix
+from repro.core.bucketing import BucketingResult, run_bucketing
+from repro.core.config import BuzzConfig
+from repro.core.kestimate import KEstimateResult, estimate_k
+from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
+from repro.nodes.reader import ReaderFrontEnd
+from repro.nodes.tag import SALT_CSPATTERN, BackscatterTag
+from repro.sensing.recovery import recover_sparse
+
+__all__ = ["IdentificationResult", "identify", "cs_transmit_matrix", "candidate_matrix"]
+
+
+@dataclass
+class IdentificationResult:
+    """Outcome of one identification attempt.
+
+    Attributes
+    ----------
+    recovered_ids:
+        Sorted temporary ids the reader believes are active.
+    channel_estimates:
+        Complex channel estimate per recovered id (same order).
+    k_estimate:
+        Stage-1 result.
+    bucketing:
+        Stage-2 result.
+    slots_used:
+        Total identification slots across the three stages.
+    duration_s:
+        Wall-clock identification time (slots at the uplink symbol rate
+        plus the reader's trigger command).
+    duplicate_ids:
+        True when ≥ 2 active tags drew the same temporary id (restart).
+    attempts:
+        Number of protocol attempts including restarts.
+    exact:
+        True when the recovered id set equals the truly active set.
+    """
+
+    recovered_ids: np.ndarray
+    channel_estimates: np.ndarray
+    k_estimate: KEstimateResult
+    bucketing: BucketingResult
+    slots_used: int
+    duration_s: float
+    duplicate_ids: bool
+    attempts: int
+    true_ids: np.ndarray
+    exact: bool
+
+    def channel_for(self, temp_id: int) -> complex:
+        """Estimated channel of a recovered temporary id."""
+        idx = np.flatnonzero(self.recovered_ids == temp_id)
+        if idx.size == 0:
+            raise KeyError(f"id {temp_id} was not recovered")
+        return complex(self.channel_estimates[idx[0]])
+
+
+def cs_transmit_matrix(tags: Sequence[BackscatterTag], n_slots: int) -> np.ndarray:
+    """``(M, K)`` Stage-3 schedule: each active tag sends its pattern bits."""
+    matrix = np.zeros((n_slots, len(tags)), dtype=np.uint8)
+    for col, tag in enumerate(tags):
+        for slot in range(n_slots):
+            matrix[slot, col] = tag.cs_pattern_bit(slot)
+    return matrix
+
+
+def candidate_matrix(candidates: Sequence[int], n_slots: int) -> np.ndarray:
+    """Reader-side regeneration of A′ — one column per surviving candidate id."""
+    return transmit_pattern_matrix(list(candidates), n_slots, p=0.5, salt=SALT_CSPATTERN)
+
+
+def identify(
+    tags: Sequence[BackscatterTag],
+    front_end: ReaderFrontEnd,
+    rng: np.random.Generator,
+    config: BuzzConfig = BuzzConfig(),
+    timing: LinkTiming = GEN2_DEFAULT_TIMING,
+    max_attempts: int = 3,
+) -> IdentificationResult:
+    """Run the three-stage protocol, restarting on temporary-id collisions.
+
+    ``tags`` are the K active nodes (inactive nodes never transmit and cost
+    nothing — the whole point of the design). The reader never uses
+    knowledge of K or of the tags' ids except through the air protocol.
+    """
+    channels = np.array([t.channel for t in tags], dtype=complex)
+    total_slots = 0
+    attempts = 0
+    last_result: Optional[IdentificationResult] = None
+
+    while attempts < max_attempts:
+        attempts += 1
+
+        # ---- Stage 1: estimate K ---------------------------------------------
+        # The attempt number doubles as the session nonce the reader
+        # broadcasts, so a restart draws fresh Stage-1 coins.
+        kest = estimate_k(tags, front_end, rng, config, session=attempts - 1)
+        k_hat = max(1, kest.k_hat)
+        total_slots += kest.slots_used
+
+        # ---- Stage 2: temporary ids + bucketing --------------------------------
+        id_space = config.temp_id_space(k_hat)
+        for tag in tags:
+            tag.draw_temp_id(id_space, rng)
+        true_ids = np.array(sorted(t.temp_id for t in tags), dtype=int)
+        duplicates = len(set(t.temp_id for t in tags)) != len(tags)
+
+        bucketing = run_bucketing(
+            tags, config.n_buckets(k_hat), id_space, front_end, rng
+        )
+        total_slots += bucketing.slots_used
+
+        # ---- Stage 3: compressive sensing --------------------------------------
+        # Every active node occupies exactly one bucket, so the occupied
+        # count is a hard lower bound on K — use it to harden Stage 3's slot
+        # budget against a Stage-1 underestimate. (The nodes generate pattern
+        # bits statelessly until told to stop, so the reader is free to pick
+        # M after seeing the buckets.)
+        k_for_cs = max(k_hat, int(np.count_nonzero(bucketing.occupied)))
+        m_slots = config.cs_slots(k_for_cs)
+        tx = cs_transmit_matrix(tags, m_slots)
+        if len(tags) == 0:
+            symbols = front_end.observe_empty(m_slots, rng)
+        else:
+            symbols = front_end.observe(tx, channels, rng)
+        a_prime = candidate_matrix(bucketing.candidates, m_slots).astype(float)
+        total_slots += m_slots
+
+        if bucketing.n_candidates == 0:
+            recovered = np.zeros(0, dtype=int)
+            estimates = np.zeros(0, dtype=complex)
+        else:
+            result = recover_sparse(
+                a_prime,
+                symbols,
+                sparsity=k_for_cs,
+                method=config.cs_method,
+                noise_std=front_end.noise_std,
+            )
+            recovered = bucketing.candidates[result.support]
+            estimates = result.channels()
+            order = np.argsort(recovered)
+            recovered = recovered[order]
+            estimates = estimates[order]
+
+        duration = total_slots * timing.uplink_symbol_s() + timing.query_duration_s()
+        exact = bool(
+            not duplicates
+            and recovered.size == len(tags)
+            and np.array_equal(recovered, true_ids)
+        )
+        last_result = IdentificationResult(
+            recovered_ids=recovered,
+            channel_estimates=estimates,
+            k_estimate=kest,
+            bucketing=bucketing,
+            slots_used=total_slots,
+            duration_s=duration,
+            duplicate_ids=duplicates,
+            attempts=attempts,
+            true_ids=true_ids,
+            exact=exact,
+        )
+        if not duplicates:
+            return last_result
+        # Temporary-id collision: the paper's reader starts the protocol over.
+
+    assert last_result is not None
+    return last_result

@@ -1,0 +1,466 @@
+"""Distributed rate adaptation — the rateless collision code (paper §6).
+
+Protocol: the reader broadcasts one start command (carrying its K̂, which
+sets the code density ``p``). In every slot each node evaluates its
+deterministic coin ``slot_decision(temp_id, slot, p)``; on heads it
+transmits its *entire message*, on tails it stays silent. The reader
+accumulates slots, regenerates the collision matrix D row by row, and after
+each slot runs the bit-flipping BP decoder per message position. Messages
+whose CRC verifies are frozen; when all K verify the reader cuts its CW and
+every node stops. The realised aggregate rate is ``K/L`` bits per symbol —
+above 1 when channels are good (fewer slots than senders), below 1 when
+they are bad.
+
+:class:`RatelessDecoder` is the reader half (consumes symbols, never looks
+at true messages); :func:`run_rateless_uplink` wires it to a live tag
+population through the PHY for end-to-end experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.crc import CRC5_GEN2, CrcSpec, crc_check
+from repro.coding.prng import slot_decision
+from repro.core.bp_decoder import BitFlipDecoder
+from repro.core.config import BuzzConfig
+from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
+from repro.nodes.reader import ReaderFrontEnd
+from repro.nodes.tag import SALT_DATA, BackscatterTag
+
+__all__ = ["RatelessDecoder", "DecodeProgress", "RatelessRunResult", "run_rateless_uplink"]
+
+
+@dataclass(frozen=True)
+class DecodeProgress:
+    """Snapshot after one decode attempt — a bar of the paper's Fig. 9."""
+
+    slot: int
+    newly_decoded: int
+    total_decoded: int
+
+    def bits_per_symbol(self, n_nodes: int) -> float:
+        """Aggregate rate if decoding finished at this slot."""
+        return n_nodes / self.slot if self.slot else float("inf")
+
+
+class RatelessDecoder:
+    """Reader-side incremental decoder of the rateless collision code.
+
+    Parameters
+    ----------
+    seeds:
+        The K temporary ids (PRNG seeds) recovered during identification.
+    channels:
+        Channel estimates ``ĥ`` per node (also from identification).
+    n_positions:
+        Message length P in bits (including any CRC).
+    density:
+        The transmit probability ``p`` the reader broadcast.
+    crc:
+        CRC spec used to verify messages; ``None`` disables freezing (the
+        decoder then only reports its best estimate).
+    noise_std:
+        Complex noise std of the link — gates message verification (below).
+
+    **Verification rule.** A 5-bit CRC alone false-positives on ~3 % of
+    garbage decodes, and a frozen-wrong message poisons every later decode,
+    so the decoder freezes a message only when the CRC pass is corroborated
+    by structural evidence:
+
+    * the node has participated in ≥ 1 collected slot, **and**
+    * no *entangled partner* exists: another unfrozen node that has
+      participated in exactly the same slots so far and whose channel
+      nearly cancels or duplicates this node's (``|h_i ± h_j|`` below the
+      noise scale). Such a pair's joint bit-flip is invisible in every
+      collected symbol, both messages then carry the same error pattern,
+      and one CRC collision false-passes both — regardless of weight. The
+      veto lifts as soon as one of the pair transmits without the other,
+      **and**
+    * either the node participated in enough slots for independent evidence
+      (≥ 2, or ≥ 3 for weak channels — such nodes churn through more
+      candidate patterns), or its single slot is *fully explained*: a
+      noise-consistent residual, every other participant frozen or passing
+      CRC in the same round, and every received symbol of that slot
+      decoding the node's bit with a clear margin — the nearest
+      constellation point that flips this node's bit at least
+      ``2·noise_std`` farther than the decoded point. The margin condition
+      matters: when two channels nearly cancel (``h_i ≈ −h_j``), flipping
+      both bits together barely moves the received symbol, the two messages
+      take the *same* error pattern, and one CRC collision (2⁻⁵)
+      false-passes both at once.
+    """
+
+    def __init__(
+        self,
+        seeds: Sequence[int],
+        channels: Sequence[complex],
+        n_positions: int,
+        density: float,
+        crc: Optional[CrcSpec] = CRC5_GEN2,
+        config: BuzzConfig = BuzzConfig(),
+        rng: Optional[np.random.Generator] = None,
+        noise_std: float = 0.0,
+    ):
+        self.seeds = [int(s) for s in seeds]
+        self.h = np.asarray(channels, dtype=complex).ravel()
+        if len(self.seeds) != self.h.size:
+            raise ValueError("seeds and channels must have equal length")
+        self.k = len(self.seeds)
+        self.p = n_positions
+        self.density = float(density)
+        self.crc = crc
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.noise_std = float(noise_std)
+
+        self._rows: List[np.ndarray] = []  # regenerated D rows
+        self._symbols: List[np.ndarray] = []  # received (P,) rows of Y
+        self._estimates = (self.rng.random((self.k, self.p)) < 0.5).astype(np.uint8)
+        self._decoded = np.zeros(self.k, dtype=bool)
+        self.progress: List[DecodeProgress] = []
+        self._bp_restarts = config.bp_restarts
+
+    # ---- protocol-side queries -------------------------------------------------
+    @property
+    def slots_collected(self) -> int:
+        return len(self._rows)
+
+    @property
+    def decoded_mask(self) -> np.ndarray:
+        """Which nodes' messages currently pass CRC."""
+        return self._decoded.copy()
+
+    @property
+    def all_decoded(self) -> bool:
+        return bool(self._decoded.all())
+
+    def messages(self) -> np.ndarray:
+        """Current ``(K, P)`` message estimates."""
+        return self._estimates.copy()
+
+    def expected_row(self, slot: int) -> np.ndarray:
+        """Regenerate the D row for ``slot`` from the seeds (Eq. 7's D)."""
+        return np.array(
+            [slot_decision(seed, slot, self.density, salt=SALT_DATA) for seed in self.seeds],
+            dtype=np.uint8,
+        )
+
+    # ---- decoding --------------------------------------------------------------
+    def add_slot(self, symbols: np.ndarray, slot: Optional[int] = None) -> None:
+        """Ingest one slot's received symbols (length P).
+
+        ``slot`` defaults to the next index; the reader regenerates the
+        corresponding D row itself — nothing about the row is signalled.
+        """
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        if symbols.size != self.p:
+            raise ValueError(f"expected {self.p} symbols per slot, got {symbols.size}")
+        index = self.slots_collected if slot is None else int(slot)
+        self._rows.append(self.expected_row(index))
+        self._symbols.append(symbols)
+
+    def try_decode(self) -> DecodeProgress:
+        """Run BP across all positions with everything collected so far.
+
+        Per position: warm-start from the previous estimate, flip to a local
+        optimum (with a couple of random restarts while the residual is
+        poor), then CRC-check whole messages and freeze the passers.
+        """
+        if not self._rows:
+            snapshot = DecodeProgress(slot=0, newly_decoded=0, total_decoded=0)
+            self.progress.append(snapshot)
+            return snapshot
+        d = np.stack(self._rows)
+        y = np.stack(self._symbols)  # (L, P)
+        decoder = BitFlipDecoder(d, self.h, max_flips=self.config.bp_max_flips)
+
+        # BP + verify to a fixpoint: each freeze pins bits that may unlock
+        # further flips and further freezes — the paper's ripple effect,
+        # realised within a single slot arrival.
+        before = int(self._decoded.sum())
+        for _ in range(4):
+            frozen = self._decoded
+            for pos in range(self.p):
+                outcome = decoder.decode_best_of(
+                    y[:, pos],
+                    restarts=self._bp_restarts,
+                    rng=self.rng,
+                    init=self._estimates[:, pos],
+                    frozen=frozen,
+                )
+                self._estimates[:, pos] = outcome.bits
+            if self.crc is None:
+                break
+            frozen_before_pass = int(self._decoded.sum())
+            self._verify_and_freeze(d, y)
+            if int(self._decoded.sum()) == frozen_before_pass or self.all_decoded:
+                break
+        newly = int(self._decoded.sum()) - before
+        snapshot = DecodeProgress(
+            slot=self.slots_collected, newly_decoded=newly, total_decoded=int(self._decoded.sum())
+        )
+        self.progress.append(snapshot)
+        return snapshot
+
+    def _verify_and_freeze(self, d: np.ndarray, y: np.ndarray) -> None:
+        """Apply the corroborated-CRC verification rule (class docstring)."""
+        weights = d.sum(axis=0)
+        # Residual with the current estimates (frozen rows included).
+        residual = y - (d.astype(float) * self.h[None, :]) @ self._estimates.astype(float)
+        row_power = np.mean(np.abs(residual) ** 2, axis=1)
+        row_ok = row_power <= max(4.0 * self.noise_std**2, 1e-12)
+
+        passes = np.zeros(self.k, dtype=bool)
+        for node in range(self.k):
+            if self._decoded[node] or weights[node] == 0:
+                continue
+            passes[node] = crc_check(self._estimates[node], self.crc)
+
+        entangled = self._entangled_mask(d)
+
+        for node in range(self.k):
+            if self._decoded[node] or not passes[node] or entangled[node]:
+                continue
+            rows = np.flatnonzero(d[:, node])
+            # Weak nodes churn through more candidate bit patterns before
+            # converging (each a fresh 2^-crc CRC-collision lottery), so they
+            # must accumulate one more independent observation.
+            required = 2 if abs(self.h[node]) >= 5.0 * self.noise_std else 3
+            if weights[node] >= required:
+                self._decoded[node] = True
+                continue
+            # weight-1 peeling / joint-constellation case: the single slot
+            # must have a noise-consistent residual and be fully explained
+            # by frozen or simultaneously-passing messages, and the slot's
+            # constellation must be unambiguous for this node.
+            if not bool(np.all(row_ok[rows])):
+                continue
+            row = rows[0]
+            participants = np.flatnonzero(d[row])
+            others = participants[participants != node]
+            if bool(
+                np.all(self._decoded[others] | passes[others])
+            ) and self._node_margin_ok(node, row, participants):
+                self._decoded[node] = True
+
+    def _entangled_mask(self, d: np.ndarray) -> np.ndarray:
+        """Nodes vetoed because an indistinguishable partner exists.
+
+        Node *i* is entangled with unfrozen node *j* when their channel
+        combination is near-degenerate (``min(|h_i+h_j|, |h_i−h_j|)`` below
+        ``4·noise_std`` — a joint flip of such a pair barely moves any
+        symbol where both transmit) **and** the accumulated evidence that
+        can tell them apart is still thin. Distinguishing evidence lives
+        only in slots where exactly one of the pair transmitted; we require
+        the summed power margin of those slots,
+        ``Σ |h_lone|² / noise_std²``, to reach 16 (≈ 12 dB of accumulated
+        SNR) before either node may freeze.
+        """
+        mask = np.zeros(self.k, dtype=bool)
+        weights = d.sum(axis=0)
+        threshold = 4.0 * self.noise_std
+        noise_power = max(self.noise_std**2, 1e-18)
+        for i in range(self.k):
+            if self._decoded[i] or weights[i] == 0:
+                continue
+            for j in range(i + 1, self.k):
+                if self._decoded[j] or weights[j] == 0:
+                    continue
+                degenerate = min(
+                    abs(self.h[i] + self.h[j]), abs(self.h[i] - self.h[j])
+                )
+                # The dangerous case is mutual near-cancellation, where the
+                # combination is far smaller than either channel. A pair
+                # that is merely *jointly weak* is handled by the per-node
+                # weight requirements, not by this veto.
+                if degenerate >= threshold or degenerate >= 0.5 * min(
+                    abs(self.h[i]), abs(self.h[j])
+                ):
+                    continue
+                only_i = (d[:, i] == 1) & (d[:, j] == 0)
+                only_j = (d[:, j] == 1) & (d[:, i] == 0)
+                evidence = (
+                    int(only_i.sum()) * abs(self.h[i]) ** 2
+                    + int(only_j.sum()) * abs(self.h[j]) ** 2
+                ) / noise_power
+                if evidence < 16.0:
+                    mask[i] = mask[j] = True
+        return mask
+
+    def _node_margin_ok(self, node: int, row: int, participants: np.ndarray) -> bool:
+        """Empirical decoding-margin test for a weight-1 freeze.
+
+        For every message position, the received symbol of this slot must
+        be at least ``2·noise_std`` closer to the decoded constellation
+        point than to the nearest point whose label flips *this node's*
+        bit. Unlike a global min-distance test this uses the actual noise
+        draw and transmitted labels, so a mostly-well-separated row is not
+        vetoed by one degenerate pair it never landed on — while the
+        near-cancelling-pair failure (``h_i ≈ −h_j``) still yields a ~zero
+        margin and is rejected. Rows too dense to enumerate (> 12
+        participants) are conservatively rejected.
+        """
+        from repro.phy.constellation import collision_constellation
+
+        if participants.size == 0:
+            return True
+        if participants.size > 12:
+            return False
+        constellation = collision_constellation(self.h[participants])
+        position = int(np.flatnonzero(participants == node)[0])
+        labels_bit = constellation.labels[:, position]  # (2^n,)
+        symbols = np.asarray(self._symbols[row])  # (P,)
+        # Distance from each received symbol to every constellation point.
+        dist = np.abs(symbols[:, None] - constellation.points[None, :])  # (P, 2^n)
+        # Index of the decoded point per position, from the current estimates.
+        est = self._estimates[participants, :]  # (n, P)
+        weights = 1 << np.arange(participants.size - 1, -1, -1)
+        decoded_idx = (weights[:, None] * est).sum(axis=0)  # (P,)
+        d_keep = dist[np.arange(self.p), decoded_idx]
+        node_bits = self._estimates[node, :]  # (P,)
+        margin = 2.0 * self.noise_std
+        for group in (0, 1):
+            pos_sel = np.flatnonzero(node_bits == group)
+            if pos_sel.size == 0:
+                continue
+            alt_points = np.flatnonzero(labels_bit != group)
+            d_alt = dist[np.ix_(pos_sel, alt_points)].min(axis=1)
+            if not bool(np.all(d_alt - d_keep[pos_sel] > margin)):
+                return False
+        return True
+
+
+@dataclass
+class RatelessRunResult:
+    """End-to-end outcome of one rateless uplink transfer.
+
+    Attributes
+    ----------
+    decoded_mask:
+        Per-node CRC success at termination.
+    messages:
+        ``(K, P)`` decoded message estimates.
+    slots_used:
+        Collision slots collected (the paper's L).
+    duration_s:
+        ``L · P`` symbols at the uplink rate plus the start command.
+    transmissions:
+        Per-node count of slots in which the node actually transmitted
+        (drives the energy model).
+    progress:
+        Decode trace — the Fig. 9 bars.
+    bit_errors:
+        Hamming distance between decoded and true messages (diagnostic;
+        zero for every CRC-passed message unless the CRC false-positived).
+    """
+
+    decoded_mask: np.ndarray
+    messages: np.ndarray
+    slots_used: int
+    duration_s: float
+    transmissions: np.ndarray
+    progress: List[DecodeProgress]
+    bit_errors: int
+
+    @property
+    def n_decoded(self) -> int:
+        return int(self.decoded_mask.sum())
+
+    @property
+    def message_loss(self) -> int:
+        """Messages not delivered — the paper's Fig. 11/12 error metric."""
+        return int((~self.decoded_mask).sum())
+
+    def bits_per_symbol(self) -> float:
+        """Realised aggregate rate K/L (Fig. 9/12's right axis)."""
+        if self.slots_used == 0:
+            return float("inf")
+        return self.decoded_mask.size / self.slots_used
+
+
+def run_rateless_uplink(
+    tags: Sequence[BackscatterTag],
+    front_end: ReaderFrontEnd,
+    rng: np.random.Generator,
+    k_hat: Optional[int] = None,
+    channel_estimates: Optional[Sequence[complex]] = None,
+    crc: Optional[CrcSpec] = CRC5_GEN2,
+    config: BuzzConfig = BuzzConfig(),
+    timing: LinkTiming = GEN2_DEFAULT_TIMING,
+    max_slots: Optional[int] = None,
+) -> RatelessRunResult:
+    """Run the full data-transmission phase over the simulated PHY.
+
+    ``tags`` must already hold temporary ids (from :func:`repro.core.
+    identification.identify`, or assigned statically for periodic
+    networks). ``channel_estimates`` defaults to the true channels —
+    pass identification's estimates to include estimation error.
+    """
+    k = len(tags)
+    if k == 0:
+        raise ValueError("need at least one tag")
+    messages = np.stack([t.message for t in tags])
+    n_positions = messages.shape[1]
+    channels = np.array([t.channel for t in tags], dtype=complex)
+    h_est = (
+        channels
+        if channel_estimates is None
+        else np.asarray(channel_estimates, dtype=complex).ravel()
+    )
+    k_for_density = k_hat if k_hat is not None else k
+    density = config.data_density(k_for_density)
+    limit = max_slots if max_slots is not None else config.max_data_slots(k, n_positions)
+
+    decoder = RatelessDecoder(
+        seeds=[t.temp_id if t.temp_id is not None else t.global_id for t in tags],
+        channels=h_est,
+        n_positions=n_positions,
+        density=density,
+        crc=crc,
+        config=config,
+        rng=np.random.default_rng(rng.integers(0, 2**63)),
+        noise_std=front_end.noise_std,
+    )
+
+    transmissions = np.zeros(k, dtype=int)
+    slot = 0
+    while slot < limit:
+        row = np.array(
+            [1 if t.data_transmits(slot, density) else 0 for t in tags], dtype=np.uint8
+        )
+        # Tag-side and reader-side views of D must agree bit-for-bit.
+        assert np.array_equal(row, decoder.expected_row(slot)), "D regeneration diverged"
+        transmissions += row
+        # Per position p the reflectors contribute h_i * B[i, p].
+        tx_per_position = (messages * row[:, None]).T  # (P, K)
+        symbols = front_end.observe(tx_per_position, channels, rng)
+        decoder.add_slot(symbols, slot)
+        slot += 1
+        if slot % config.decode_every == 0:
+            progress = decoder.try_decode()
+            if decoder.all_decoded:
+                break
+
+    if not decoder.all_decoded and decoder.slots_collected and (
+        decoder.slots_collected % config.decode_every != 0
+    ):
+        decoder.try_decode()
+
+    decoded = decoder.decoded_mask
+    estimates = decoder.messages()
+    bit_errors = int(np.count_nonzero(estimates != messages))
+    symbol_s = 1.0 / timing.uplink_rate_bps
+    duration = decoder.slots_collected * n_positions * symbol_s + timing.query_duration_s()
+    return RatelessRunResult(
+        decoded_mask=decoded,
+        messages=estimates,
+        slots_used=decoder.slots_collected,
+        duration_s=duration,
+        transmissions=transmissions,
+        progress=decoder.progress,
+        bit_errors=bit_errors,
+    )

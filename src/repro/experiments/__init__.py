@@ -1,0 +1,23 @@
+"""Experiment runners — one module per paper figure/table.
+
+Every module exposes a ``run(...)`` function returning a result dataclass
+and a ``render(result)`` function producing the text table/series the
+corresponding figure plots. The benchmark suite calls ``run`` with reduced
+trial counts; ``python -m repro.experiments.<module>`` runs the full-size
+version.
+
+| Module                    | Paper artefact                     |
+|---------------------------|------------------------------------|
+| ``toy_example``           | Tables 1–2 (§3.2)                  |
+| ``fig2_waveforms``        | Fig. 2 magnitude traces            |
+| ``fig3_constellation``    | Fig. 3 constellations              |
+| ``fig7_sync_offset``      | Fig. 7 sync-offset CDF             |
+| ``fig8_clock_drift``      | Fig. 8 drift alignment             |
+| ``fig9_decoding_progress``| Fig. 9 BP ripple                   |
+| ``fig10_transfer_time``   | Fig. 10 transfer time vs K         |
+| ``fig11_message_errors``  | Fig. 11 undecoded tags vs K        |
+| ``fig12_challenging``     | Fig. 12 challenging channels       |
+| ``fig13_energy``          | Fig. 13 energy per query           |
+| ``fig14_identification``  | Fig. 14 identification time vs K   |
+| ``headline``              | §1/§10 overall 3.5× gain           |
+"""

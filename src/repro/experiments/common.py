@@ -1,0 +1,23 @@
+"""Shared helpers for experiment runners."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a fixed-width text table (the experiments' output format)."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        str_rows.append(
+            [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(r[i]) for r in str_rows) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(str_rows):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if idx == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)

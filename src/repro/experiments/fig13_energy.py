@@ -1,0 +1,143 @@
+"""Fig. 13: per-query tag energy consumption of the three schemes.
+
+Measured in the paper by draining a 0.1 F capacitor over 8800 queries and
+reading the voltage drop (``E = ½C(V0² − Vf²)``), for starting voltages
+3/4/5 V. Consumption drivers per scheme:
+
+* **TDMA** — one transmission, but Miller-4 switches the antenna impedance
+  ~8× per bit;
+* **CDMA** — the message is spread K-fold: each tag is on the air for
+  ``N·P`` chips (by far the longest) and switches per chip;
+* **Buzz** — plain OOK (switches only on bit changes) but transmits its
+  message in a few randomly chosen slots (the sparse code), ending up only
+  slightly above TDMA.
+
+Energy rises roughly linearly with the starting voltage (constant-current
+regulator), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.network.campaign import run_campaign
+from repro.network.scenarios import default_uplink_scenario
+from repro.nodes.energy import MOO_ENERGY_PROFILE, EnergyProfile, TransmissionCost
+from repro.gen2.timing import GEN2_DEFAULT_TIMING
+
+__all__ = ["EnergyResult", "run", "render", "ook_switches"]
+
+
+def ook_switches(message: np.ndarray) -> int:
+    """Impedance transitions to OOK a message (level changes + initial set)."""
+    bits = np.asarray(message).astype(int)
+    if bits.size == 0:
+        return 0
+    return int(np.count_nonzero(np.diff(bits) != 0)) + int(bits[0] == 1) + int(bits[-1] == 1)
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Mean per-query per-tag energy (µJ) per scheme per starting voltage."""
+
+    voltages: List[float]
+    energy_uj: Dict[str, Dict[float, float]]
+
+    def mean_energy_uj(self, scheme: str, voltage: float) -> float:
+        return self.energy_uj[scheme][voltage]
+
+
+def run(
+    n_tags: int = 8,
+    voltages: Sequence[float] = (3.0, 4.0, 5.0),
+    message_bits: int = 32,
+    n_locations: int = 6,
+    n_traces: int = 2,
+    seed: int = 13,
+    profile: EnergyProfile = MOO_ENERGY_PROFILE,
+) -> EnergyResult:
+    """Account energy per scheme from the campaign's transmission records.
+
+    The same campaign (channels, schedules) is re-priced at each starting
+    voltage, mirroring the paper's repeated 8800-query drains.
+    """
+    campaign = run_campaign(
+        default_uplink_scenario(n_tags, message_bits=message_bits),
+        root_seed=seed,
+        n_locations=n_locations,
+        n_traces=n_traces,
+    )
+    bit_s = 1.0 / GEN2_DEFAULT_TIMING.uplink_rate_bps
+    p_bits = message_bits + 5  # payload + CRC-5
+
+    # Scheme-specific cost of one *transmission* by one tag. Message-level
+    # switch counts vary per message; an expectation over random bits is
+    # accurate to a few per cent and keeps this pricing closed-form.
+    ook_sw = p_bits / 2 + 1
+    miller_sw = 8 * p_bits
+    costs = {}
+    for scheme in ("buzz", "tdma", "cdma"):
+        runs = campaign.by_scheme(scheme)
+        per_tx_onair = {
+            "buzz": p_bits * bit_s,
+            "tdma": p_bits * bit_s,
+            "cdma": None,  # depends on spreading factor, taken per run
+        }[scheme]
+        totals = []
+        for record in runs:
+            if scheme == "cdma":
+                n = record.slots_used  # spreading factor for cdma records
+                on_air = p_bits * n * bit_s
+                switches = p_bits * n / 2
+                tx_counts = record.transmissions  # all ones
+            elif scheme == "tdma":
+                on_air = per_tx_onair
+                switches = miller_sw
+                tx_counts = record.transmissions
+            else:
+                on_air = per_tx_onair
+                switches = ook_sw
+                tx_counts = record.transmissions  # per-tag slot counts
+            totals.append((np.asarray(tx_counts, dtype=float), on_air, switches))
+        costs[scheme] = totals
+
+    energy: Dict[str, Dict[float, float]] = {s: {} for s in costs}
+    for scheme, totals in costs.items():
+        for v in voltages:
+            per_tag_energies = []
+            for tx_counts, on_air, switches in totals:
+                for n_tx in tx_counts:
+                    cost = TransmissionCost(
+                        on_air_s=on_air * n_tx,
+                        impedance_switches=int(switches * n_tx),
+                        includes_wake=True,
+                    )
+                    per_tag_energies.append(profile.energy_j(cost, v))
+            energy[scheme][v] = float(np.mean(per_tag_energies) * 1e6)
+    return EnergyResult(voltages=list(voltages), energy_uj=energy)
+
+
+def render(result: EnergyResult) -> str:
+    rows = [
+        (
+            f"{v:.0f} V",
+            result.mean_energy_uj("buzz", v),
+            result.mean_energy_uj("tdma", v),
+            result.mean_energy_uj("cdma", v),
+        )
+        for v in result.voltages
+    ]
+    table = format_table(["V0", "Buzz uJ", "TDMA uJ", "CDMA uJ"], rows)
+    summary = (
+        "\nFig. 13 reproduction (paper: Buzz ~= TDMA; CDMA several times higher; "
+        "all grow with starting voltage)"
+    )
+    return table + summary
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,102 @@
+"""Fig. 8: collision alignment with and without clock-drift correction.
+
+Two tags transmit the same 80 kbps stream for 2 ms. Uncorrected, their
+relative clock drift misaligns their bits by ~50 % of a symbol by the end
+of the trace; with the virtual-clock correction the misalignment stays
+negligible. ``run`` reproduces both conditions, reporting the terminal
+misalignment fraction and a collision magnitude trace synthesised with the
+corresponding per-tag sample offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.signal import collision_trace
+from repro.phy.sync import ClockModel, misalignment_fraction
+from repro.utils.bits import random_bits
+
+__all__ = ["ClockDriftResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class ClockDriftResult:
+    """Misalignment trajectories and terminal values."""
+
+    time_ms: np.ndarray
+    misalignment_uncorrected: np.ndarray
+    misalignment_corrected: np.ndarray
+    trace_uncorrected: np.ndarray
+    trace_corrected: np.ndarray
+
+    @property
+    def final_uncorrected(self) -> float:
+        return float(self.misalignment_uncorrected[-1])
+
+    @property
+    def final_corrected(self) -> float:
+        return float(self.misalignment_corrected[-1])
+
+
+def run(
+    bit_rate_hz: float = 80_000.0,
+    duration_ms: float = 2.0,
+    relative_drift_ppm: float = 3_125.0,
+    samples_per_bit: int = 20,
+    seed: int = 8,
+) -> ClockDriftResult:
+    """Reproduce the Fig. 8 experiment.
+
+    ``relative_drift_ppm`` is the drift *between* the two tags' clocks;
+    the default reproduces the paper's ~50 % misalignment after 2 ms at
+    80 kbps (0.5 bit / (2 ms · 80 kbps) = 3125 ppm).
+    """
+    rng = np.random.default_rng(seed)
+    clock_a = ClockModel(drift_ppm=0.0, residual_ppm=0.0)
+    clock_b = ClockModel(drift_ppm=relative_drift_ppm, residual_ppm=relative_drift_ppm / 200)
+
+    n_points = 80
+    times_s = np.linspace(0.0, duration_ms * 1e-3, n_points)
+    uncorrected = np.array(
+        [misalignment_fraction(clock_a, clock_b, t, bit_rate_hz, corrected=False) for t in times_s]
+    )
+    corrected = np.array(
+        [misalignment_fraction(clock_a, clock_b, t, bit_rate_hz, corrected=True) for t in times_s]
+    )
+
+    # Collision traces at the end of the window: tag B shifted by the
+    # accumulated drift (in samples).
+    n_bits = int(round(duration_ms * 1e-3 * bit_rate_hz))
+    bits = random_bits(n_bits, rng)
+    stream = np.stack([bits, bits])  # the paper sends the same data from both tags
+    h = [0.12 + 0.02j, 0.09 - 0.03j]
+    sample_s = 1.0 / (bit_rate_hz * samples_per_bit)
+    shift_unc = int(round(clock_b.offset_after(duration_ms * 1e-3, corrected=False) / sample_s))
+    shift_cor = int(round(clock_b.offset_after(duration_ms * 1e-3, corrected=True) / sample_s))
+    trace_unc = collision_trace(stream, h, samples_per_bit, sample_offsets=[0, shift_unc])
+    trace_cor = collision_trace(stream, h, samples_per_bit, sample_offsets=[0, shift_cor])
+
+    return ClockDriftResult(
+        time_ms=times_s * 1e3,
+        misalignment_uncorrected=uncorrected,
+        misalignment_corrected=corrected,
+        trace_uncorrected=np.abs(trace_unc),
+        trace_corrected=np.abs(trace_cor),
+    )
+
+
+def render(result: ClockDriftResult) -> str:
+    lines = [
+        "Fig. 8 reproduction: bit misalignment of two colliding tags after 2 ms",
+        f"  without drift correction: {100 * result.final_uncorrected:.1f} % of a symbol "
+        "(paper: ~50 %)",
+        f"  with drift correction   : {100 * result.final_corrected:.2f} % of a symbol "
+        "(paper: ~0 %)",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,105 @@
+"""Fig. 9: the BP decoder's ripple — 14 tags, 96-bit messages.
+
+The paper zooms into one transfer: 14 Moo tags, 96-bit messages at
+80 kbps, decoded in ten slots. Early slots decode many tags at once (peak
+2.75 bits/symbol within four slots); stragglers with poor channels take
+several more collisions, dragging the final aggregate rate to
+1.4 bits/symbol. ``run`` reproduces the experiment and reports the same
+per-slot bars (newly decoded / already decoded) plus the running rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.config import BuzzConfig
+from repro.core.rateless import run_rateless_uplink
+from repro.experiments.common import format_table
+from repro.network.scenarios import default_uplink_scenario
+from repro.nodes.reader import ReaderFrontEnd
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["DecodingProgressResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class DecodingProgressResult:
+    """Per-slot decode counts for the zoomed-in transfer."""
+
+    n_tags: int
+    slots: List[int]
+    newly_decoded: List[int]
+    already_decoded: List[int]
+    total_slots: int
+    final_rate_bits_per_symbol: float
+    peak_rate_bits_per_symbol: float
+    all_decoded: bool
+
+
+def run(
+    n_tags: int = 14,
+    message_bits: int = 91,
+    seed: int = 17,
+    config: BuzzConfig = BuzzConfig(),
+) -> DecodingProgressResult:
+    """One end-to-end rateless transfer with per-slot bookkeeping.
+
+    ``message_bits = 91`` + CRC-5 = the paper's 96-bit messages.
+    """
+    seeds = SeedSequenceFactory(seed)
+    scenario = default_uplink_scenario(n_tags, message_bits=message_bits)
+    population = scenario.draw_population(seeds.stream("population"))
+    front_end = ReaderFrontEnd(noise_std=population.noise_std)
+    run_rng = seeds.stream("run")
+    for tag in population.tags:
+        tag.draw_temp_id(10 * n_tags * n_tags, run_rng)
+
+    outcome = run_rateless_uplink(population.tags, front_end, run_rng, config=config)
+
+    slots, newly, already = [], [], []
+    running = 0
+    peak = 0.0
+    for snapshot in outcome.progress:
+        if snapshot.slot == 0:
+            continue
+        slots.append(snapshot.slot)
+        newly.append(snapshot.newly_decoded)
+        already.append(running)
+        running = snapshot.total_decoded
+        if snapshot.total_decoded and snapshot.slot:
+            peak = max(peak, snapshot.total_decoded / snapshot.slot)
+
+    return DecodingProgressResult(
+        n_tags=n_tags,
+        slots=slots,
+        newly_decoded=newly,
+        already_decoded=already,
+        total_slots=outcome.slots_used,
+        final_rate_bits_per_symbol=outcome.bits_per_symbol(),
+        peak_rate_bits_per_symbol=peak,
+        all_decoded=bool(outcome.decoded_mask.all()),
+    )
+
+
+def render(result: DecodingProgressResult) -> str:
+    rows = [
+        (slot, already, new, f"{(already + new) / slot:.2f}")
+        for slot, new, already in zip(result.slots, result.newly_decoded, result.already_decoded)
+    ]
+    table = format_table(["slot", "already", "newly", "cum b/sym"], rows)
+    summary = (
+        f"\nFig. 9 reproduction: {result.n_tags} tags decoded in "
+        f"{result.total_slots} slots "
+        f"(paper: 14 tags in 10 slots); final rate "
+        f"{result.final_rate_bits_per_symbol:.2f} b/sym (paper 1.4), "
+        f"peak {result.peak_rate_bits_per_symbol:.2f} b/sym (paper 2.75); "
+        f"all decoded: {result.all_decoded}"
+    )
+    return table + summary
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,103 @@
+"""§1/§10 headline: the overall 3.5× communication-efficiency gain.
+
+The paper composes its headline from two measured factors: a 5.5×
+reduction in identification time (Fig. 14) and a 2× data-phase throughput
+gain (Fig. 10), weighted by where the time actually goes in a Gen-2
+interaction. We recompute the same composition from our Fig. 10 and
+Fig. 14 reproductions: total time = identification + data transfer for
+each system, compared end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments import fig10_transfer_time, fig14_identification
+from repro.experiments.common import format_table
+
+__all__ = ["HeadlineResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """End-to-end gain per K and overall."""
+
+    tag_counts: List[int]
+    buzz_total_ms: Dict[int, float]
+    baseline_total_ms: Dict[int, float]
+    identification_speedup: Dict[int, float]
+    data_speedup: Dict[int, float]
+    overall_gain: float
+
+    def gain(self, k: int) -> float:
+        return self.baseline_total_ms[k] / self.buzz_total_ms[k]
+
+
+def run(
+    tag_counts: Sequence[int] = (4, 8, 12, 16),
+    n_locations: int = 8,
+    n_traces: int = 3,
+    seed: int = 15,
+) -> HeadlineResult:
+    """Compose the headline from the two sub-experiments.
+
+    Baseline = FSA identification + TDMA data transfer (the Gen-2 way);
+    Buzz = CS identification + rateless data transfer.
+    """
+    transfer = fig10_transfer_time.run(
+        tag_counts=tag_counts, n_locations=n_locations, n_traces=n_traces, seed=seed
+    )
+    ident = fig14_identification.run(
+        tag_counts=tag_counts, n_locations=n_locations, seed=seed + 1
+    )
+
+    buzz_total: Dict[int, float] = {}
+    base_total: Dict[int, float] = {}
+    id_speed: Dict[int, float] = {}
+    data_speed: Dict[int, float] = {}
+    for k in tag_counts:
+        buzz_total[k] = ident.buzz_ms[k] + transfer.mean_time_ms("buzz", k)
+        base_total[k] = ident.fsa_ms[k] + transfer.mean_time_ms("tdma", k)
+        id_speed[k] = ident.speedup_over_fsa(k)
+        data_speed[k] = transfer.mean_time_ms("tdma", k) / transfer.mean_time_ms("buzz", k)
+
+    overall = float(np.mean([base_total[k] / buzz_total[k] for k in tag_counts]))
+    return HeadlineResult(
+        tag_counts=list(tag_counts),
+        buzz_total_ms=buzz_total,
+        baseline_total_ms=base_total,
+        identification_speedup=id_speed,
+        data_speedup=data_speed,
+        overall_gain=overall,
+    )
+
+
+def render(result: HeadlineResult) -> str:
+    rows = [
+        (
+            k,
+            result.buzz_total_ms[k],
+            result.baseline_total_ms[k],
+            f"{result.identification_speedup[k]:.1f}x",
+            f"{result.data_speedup[k]:.1f}x",
+            f"{result.gain(k):.1f}x",
+        )
+        for k in result.tag_counts
+    ]
+    table = format_table(
+        ["K", "Buzz total ms", "Gen-2 total ms", "id speedup", "data speedup", "overall"],
+        rows,
+    )
+    summary = (
+        f"\nHeadline reproduction: overall communication-efficiency gain "
+        f"{result.overall_gain:.2f}x (paper: 3.5x, composed of 5.5x identification "
+        f"and 2x data)"
+    )
+    return table + summary
+
+
+if __name__ == "__main__":
+    print(render(run()))

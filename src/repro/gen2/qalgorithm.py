@@ -1,0 +1,65 @@
+"""The EPC Gen-2 Q-adjustment algorithm.
+
+The reader maintains a floating-point ``Q_fp`` (initially 4.0). After each
+slot it nudges ``Q_fp`` by ``C``: up on a collision (frame too small), down
+on an empty slot (frame too large), unchanged on success. The advertised
+frame size is ``2^round(Q_fp)``. The paper uses the standard's recommended
+C = 0.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gen2.timing import SlotOutcome
+from repro.utils.validation import ensure_in_range
+
+__all__ = ["QAlgorithm"]
+
+_Q_MIN = 0.0
+_Q_MAX = 15.0
+
+
+@dataclass
+class QAlgorithm:
+    """Stateful Q controller.
+
+    Parameters
+    ----------
+    initial_q:
+        Starting Q (standard default 4; FSA-with-K̂ seeds it from the
+        estimate instead).
+    c:
+        Adjustment step in (0.1, 0.5] per the standard; paper uses 0.3.
+    """
+
+    initial_q: float = 4.0
+    c: float = 0.3
+    q_fp: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        ensure_in_range(self.initial_q, "initial_q", _Q_MIN, _Q_MAX)
+        ensure_in_range(self.c, "c", 0.05, 1.0)
+        self.q_fp = float(self.initial_q)
+
+    @property
+    def q(self) -> int:
+        """Current integer Q."""
+        return int(round(self.q_fp))
+
+    @property
+    def frame_size(self) -> int:
+        """Number of slots the current Q advertises, ``2^Q``."""
+        return 1 << self.q
+
+    def update(self, outcome: SlotOutcome) -> None:
+        """Apply the standard's adjustment for one observed slot."""
+        if outcome is SlotOutcome.COLLISION:
+            self.q_fp = min(_Q_MAX, self.q_fp + self.c)
+        elif outcome is SlotOutcome.EMPTY:
+            self.q_fp = max(_Q_MIN, self.q_fp - self.c)
+        # SUCCESS leaves Q_fp unchanged.
+
+    def reset(self) -> None:
+        """Return to the initial Q (new inventory round)."""
+        self.q_fp = float(self.initial_q)

@@ -1,0 +1,117 @@
+"""EPC Gen-2 air-interface timing model.
+
+Identification cost in the paper is reported in milliseconds (Fig. 14), so
+the FSA baseline needs a faithful account of where time goes: reader
+commands at the downlink rate, tag replies at the uplink rate, and the
+standard's turnaround gaps T1/T2/T3.
+
+Command lengths (bits) follow the Gen-2 specification; rates follow the
+paper's implementation (§7): reader queries at 27 kbps, tags reply at
+80 kbps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.units import us
+from repro.utils.validation import ensure_positive
+
+__all__ = ["SlotOutcome", "LinkTiming", "GEN2_DEFAULT_TIMING"]
+
+
+class SlotOutcome(enum.Enum):
+    """What the reader observed in one FSA slot."""
+
+    EMPTY = "empty"
+    SUCCESS = "success"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class LinkTiming:
+    """Air-interface timing parameters.
+
+    Attributes
+    ----------
+    downlink_rate_bps:
+        Reader-to-tag signalling rate (paper: 27 kbps).
+    uplink_rate_bps:
+        Tag-to-reader backscatter rate (paper: 80 kbps).
+    t1_s, t2_s, t3_s:
+        Gen-2 turnaround gaps: reader-command → tag-reply (T1), tag-reply →
+        reader-command (T2), and the extra wait that closes an empty slot
+        (T3).
+    query_bits, query_rep_bits, query_adjust_bits, ack_bits:
+        Command lengths from the Gen-2 spec (Query = 22 bits including CRC-5,
+        QueryRep = 4, QueryAdjust = 9, ACK = 18).
+    rn16_bits:
+        Temporary-id reply length (16) — FSA-with-K̂ may shrink this.
+    preamble_bits:
+        Equivalent length of the tag reply preamble (FM0 pilot, ~6 bit
+        periods).
+    """
+
+    downlink_rate_bps: float = 27_000.0
+    uplink_rate_bps: float = 80_000.0
+    t1_s: float = us(62.5)
+    t2_s: float = us(62.5)
+    t3_s: float = us(30.0)
+    query_bits: int = 22
+    query_rep_bits: int = 4
+    query_adjust_bits: int = 9
+    ack_bits: int = 18
+    rn16_bits: int = 16
+    preamble_bits: int = 6
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.downlink_rate_bps, "downlink_rate_bps")
+        ensure_positive(self.uplink_rate_bps, "uplink_rate_bps")
+
+    # ---- primitive durations -------------------------------------------------
+    def downlink_s(self, bits: int) -> float:
+        """Time to signal ``bits`` reader bits."""
+        return bits / self.downlink_rate_bps
+
+    def uplink_s(self, bits: int) -> float:
+        """Time for a tag to backscatter ``bits`` (plus preamble)."""
+        return (bits + self.preamble_bits) / self.uplink_rate_bps
+
+    def uplink_symbol_s(self) -> float:
+        """One uplink bit period — Buzz's identification slot length."""
+        return 1.0 / self.uplink_rate_bps
+
+    # ---- FSA slot costs ------------------------------------------------------
+    def slot_duration_s(self, outcome: SlotOutcome, id_bits: int) -> float:
+        """Wall-clock cost of one FSA slot with a given outcome.
+
+        * EMPTY: QueryRep + T1 + T3 (no reply materialises).
+        * COLLISION: QueryRep + T1 + garbled id reply + T2.
+        * SUCCESS: QueryRep + T1 + id reply + T2 + ACK + T1 (+ tag
+          acknowledgement epilogue folded into T2).
+        """
+        base = self.downlink_s(self.query_rep_bits) + self.t1_s
+        if outcome is SlotOutcome.EMPTY:
+            return base + self.t3_s
+        if outcome is SlotOutcome.COLLISION:
+            return base + self.uplink_s(id_bits) + self.t2_s
+        return (
+            base
+            + self.uplink_s(id_bits)
+            + self.t2_s
+            + self.downlink_s(self.ack_bits)
+            + self.t1_s
+        )
+
+    def query_duration_s(self) -> float:
+        """Cost of the round-opening Query command."""
+        return self.downlink_s(self.query_bits) + self.t1_s
+
+    def query_adjust_duration_s(self) -> float:
+        """Cost of a QueryAdjust command (new Q, new round)."""
+        return self.downlink_s(self.query_adjust_bits) + self.t1_s
+
+
+#: Timing with the paper's link rates and Gen-2 command lengths.
+GEN2_DEFAULT_TIMING = LinkTiming()

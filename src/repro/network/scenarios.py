@@ -1,0 +1,146 @@
+"""Deployment scenarios: channel statistics for the paper's experiments.
+
+Absolute RF calibration is explicitly out of scope (our substrate is a
+simulator); scenarios pin the *relative* conditions that drive each figure:
+
+* :func:`default_uplink_scenario` — the Figs. 10/11 bench: a table-top
+  deployment with healthy mean SNR and the near-far spread of tags at
+  0.15–1.8 m from the reader antenna.
+* :func:`challenging_scenario` — the Fig. 12 sweep: K = 4 tags pushed
+  further and further away; parameterised by a per-tag SNR band.
+* :func:`shopping_cart_scenario` — the motivating application (§4a): K
+  tagged items in a cart among a large inventory.
+
+``CHALLENGING_SNR_BANDS`` lists the five bands of Fig. 12's x-axis. Paper
+SNRs were measured on their USRP against their noise floor; our equivalent
+bands are shifted down by a fixed calibration offset chosen so that the
+*baseline* (TDMA with Miller-4) degrades across the sweep the way the paper
+reports — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nodes.population import TagPopulation, make_population
+from repro.phy.channel import ChannelModel, channels_for_snr_band
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "Scenario",
+    "default_uplink_scenario",
+    "challenging_scenario",
+    "shopping_cart_scenario",
+    "CHALLENGING_SNR_BANDS",
+    "PAPER_SNR_CALIBRATION_DB",
+]
+
+#: Fig. 12's x-axis labels: per-tag SNR ranges (dB) as the paper reports them.
+CHALLENGING_SNR_BANDS: List[Tuple[int, int]] = [
+    (19, 26),
+    (15, 22),
+    (6, 14),
+    (3, 15),
+    (4, 12),
+]
+
+#: Our PHY decodes a given SNR better than the paper's USRP chain (no CW
+#: phase noise, perfect channel knowledge), so paper-band SNRs map to lower
+#: simulator SNRs by this constant offset.
+PAPER_SNR_CALIBRATION_DB: float = 6.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A deployment class from which locations are drawn.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in experiment reports.
+    n_tags:
+        Number of tags with data (the paper's K).
+    channel_model:
+        Location statistics; each draw of channels = one "location".
+    message_bits:
+        Payload size before CRC (paper §9: 32).
+    snr_band_db:
+        When set, channels are drawn uniformly in this per-tag SNR band
+        instead of from the channel model (the Fig. 12 mode).
+    """
+
+    name: str
+    n_tags: int
+    channel_model: ChannelModel
+    message_bits: int = 32
+    snr_band_db: Optional[Tuple[float, float]] = None
+
+    def draw_population(self, rng: np.random.Generator, with_energy: bool = False,
+                        initial_voltage_v: float = 3.0) -> TagPopulation:
+        """Draw one location: channels + fresh messages for every tag."""
+        channels = None
+        if self.snr_band_db is not None:
+            channels = channels_for_snr_band(
+                self.n_tags,
+                self.snr_band_db[0],
+                self.snr_band_db[1],
+                rng,
+                noise_std=self.channel_model.noise_std,
+            )
+        return make_population(
+            self.n_tags,
+            rng,
+            channel_model=self.channel_model,
+            message_bits=self.message_bits,
+            with_energy=with_energy,
+            initial_voltage_v=initial_voltage_v,
+            channels=channels,
+        )
+
+
+def default_uplink_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
+    """The Figs. 10/11/13 bench: table-top deployment, 0.5–6 ft."""
+    ensure_positive_int(n_tags, "n_tags")
+    return Scenario(
+        name=f"uplink-k{n_tags}",
+        n_tags=n_tags,
+        channel_model=ChannelModel(
+            mean_snr_db=24.0, near_far_db=12.0, rician_k_db=10.0, noise_std=0.1
+        ),
+        message_bits=message_bits,
+    )
+
+
+def challenging_scenario(snr_band_db: Tuple[float, float], n_tags: int = 4) -> Scenario:
+    """The Fig. 12 sweep: tags pushed to a target per-tag SNR band.
+
+    ``snr_band_db`` is in *paper units*; the calibration offset maps it to
+    simulator SNR.
+    """
+    low, high = snr_band_db
+    return Scenario(
+        name=f"challenging-{low}-{high}dB",
+        n_tags=n_tags,
+        channel_model=ChannelModel(noise_std=0.1),
+        snr_band_db=(low - PAPER_SNR_CALIBRATION_DB, high - PAPER_SNR_CALIBRATION_DB),
+    )
+
+
+def shopping_cart_scenario(n_items_in_cart: int = 20, message_bits: int = 96) -> Scenario:
+    """The motivating event-driven application: a cart at the checkout.
+
+    A checkout portal reads at very close range (the cart passes within a
+    metre of the portal antennas), so the channel class is stronger and
+    tighter than the general table-top bench.
+    """
+    return Scenario(
+        name=f"shopping-cart-{n_items_in_cart}",
+        n_tags=n_items_in_cart,
+        channel_model=ChannelModel(
+            mean_snr_db=26.0, near_far_db=10.0, rician_k_db=12.0, noise_std=0.1
+        ),
+        message_bits=message_bits,
+    )

@@ -1,0 +1,30 @@
+"""Backscatter node models: tags, reader front end, energy, populations.
+
+These are the simulation stand-ins for the paper's hardware (§7): UMass Moo
+computational RFIDs, Alien Squiggle commercial tags, and the USRP reader.
+Tags hold identity, message, channel and energy state; the reader front end
+turns per-slot transmit decisions into noisy received symbols and makes
+occupied/empty calls; populations bundle a deployment draw.
+"""
+
+from repro.nodes.energy import (
+    CapacitorEnergyModel,
+    EnergyProfile,
+    MOO_ENERGY_PROFILE,
+    TransmissionCost,
+)
+from repro.nodes.population import TagPopulation, make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.nodes.tag import BackscatterTag, TagKind
+
+__all__ = [
+    "BackscatterTag",
+    "CapacitorEnergyModel",
+    "EnergyProfile",
+    "MOO_ENERGY_PROFILE",
+    "ReaderFrontEnd",
+    "TagKind",
+    "TagPopulation",
+    "TransmissionCost",
+    "make_population",
+]

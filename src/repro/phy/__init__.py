@@ -1,0 +1,72 @@
+"""Physical-layer substrate for backscatter simulation.
+
+The paper's key PHY observation (§2) is that a narrowband backscatter link is
+a **single-tap channel**: each tag's contribution to the received baseband is
+its transmitted bit (0/1, ON-OFF keying) multiplied by one complex
+coefficient ``h_i``, plus the reader's continuous-wave leakage and thermal
+noise. There is no carrier-frequency offset because tags reflect the reader's
+own carrier.
+
+This package implements that model at two resolutions:
+
+* **per-slot symbols** — one complex sample per time slot, the abstraction
+  Buzz's identification and rateless decoders consume (Eq. 3 / Eq. 7);
+* **oversampled waveforms** — magnitude/IQ traces with many samples per bit,
+  used by the microbenchmarks (Figs. 2, 3, 8) and the synchronization study.
+"""
+
+from repro.phy.channel import (
+    ChannelModel,
+    SingleTapChannel,
+    backscatter_path_gain,
+    near_far_spread_db,
+)
+from repro.phy.constellation import (
+    Constellation,
+    collision_constellation,
+    min_distance,
+    nearest_point,
+)
+from repro.phy.noise import awgn, noise_std_for_snr, snr_db as measure_snr_db
+from repro.phy.signal import (
+    CW_LEVEL,
+    collision_trace,
+    ook_waveform,
+    received_symbols,
+    slot_energies,
+    tag_baseband,
+)
+from repro.phy.sync import (
+    ClockModel,
+    SyncProfile,
+    COMMERCIAL_RFID_SYNC,
+    MOO_RFID_SYNC,
+    misalignment_fraction,
+    sample_initial_offsets,
+)
+
+__all__ = [
+    "COMMERCIAL_RFID_SYNC",
+    "CW_LEVEL",
+    "ChannelModel",
+    "ClockModel",
+    "Constellation",
+    "MOO_RFID_SYNC",
+    "SingleTapChannel",
+    "SyncProfile",
+    "awgn",
+    "backscatter_path_gain",
+    "collision_constellation",
+    "collision_trace",
+    "measure_snr_db",
+    "min_distance",
+    "misalignment_fraction",
+    "near_far_spread_db",
+    "nearest_point",
+    "noise_std_for_snr",
+    "ook_waveform",
+    "received_symbols",
+    "sample_initial_offsets",
+    "slot_energies",
+    "tag_baseband",
+]

@@ -1,0 +1,46 @@
+"""Complex AWGN at the backscatter reader.
+
+Noise is circularly-symmetric complex Gaussian. Throughout the code base the
+``noise_std`` of a link is the std of the *complex* sample, i.e. each of the
+real and imaginary parts has std ``noise_std / sqrt(2)`` and
+``E[|n|^2] = noise_std^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.utils.units import db_to_power, power_to_db
+from repro.utils.validation import ensure_positive
+
+__all__ = ["awgn", "noise_std_for_snr", "snr_db"]
+
+
+def awgn(
+    shape: Union[int, Tuple[int, ...]],
+    noise_std: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian noise with ``E[|n|^2] = noise_std^2``."""
+    if noise_std < 0:
+        raise ValueError("noise_std must be >= 0")
+    if noise_std == 0:
+        return np.zeros(shape, dtype=complex)
+    scale = noise_std / np.sqrt(2.0)
+    return scale * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+
+
+def noise_std_for_snr(signal_amplitude: float, snr_db_value: float) -> float:
+    """Noise std that puts a signal of the given amplitude at ``snr_db_value``."""
+    ensure_positive(signal_amplitude, "signal_amplitude")
+    return float(signal_amplitude / np.sqrt(db_to_power(snr_db_value)))
+
+
+def snr_db(signal: np.ndarray, noise_std: float) -> float:
+    """Empirical SNR (power dB) of a complex signal against a known noise std."""
+    ensure_positive(noise_std, "noise_std")
+    sig = np.asarray(signal)
+    power = float(np.mean(np.abs(sig) ** 2))
+    return float(power_to_db(power / noise_std**2))

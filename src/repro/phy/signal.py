@@ -1,0 +1,167 @@
+"""Baseband signal synthesis for backscatter links.
+
+Two resolutions are provided:
+
+* :func:`received_symbols` — one complex sample per slot, the model the
+  protocol decoders consume (Eq. 3 / Eq. 7 of the paper):
+  ``y_j = Σ_i h_i · b_{j,i} + n_j``.
+* :func:`ook_waveform` / :func:`collision_trace` — oversampled IQ traces that
+  include the reader's continuous-wave (CW) leakage, used to regenerate the
+  Fig. 2 magnitude plots and the Fig. 3 constellations.
+
+The CW leakage is the large quasi-static component the reader receives from
+its own transmitter; tags *add* their reflection on top of it, which is why
+Fig. 2's magnitude rides around 0.8 rather than 0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.phy.noise import awgn
+from repro.utils.bits import as_bits
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "CW_LEVEL",
+    "tag_baseband",
+    "ook_waveform",
+    "collision_trace",
+    "received_symbols",
+    "slot_energies",
+]
+
+#: Default complex amplitude of the reader's continuous-wave leakage at the
+#: receiver. The exact value is irrelevant to the decoders (they subtract
+#: it); it only anchors the waveform plots near the paper's magnitude scale.
+CW_LEVEL: complex = 0.80 - 0.95j
+
+
+def tag_baseband(bits: Sequence[int], samples_per_bit: int) -> np.ndarray:
+    """Rectangular ON-OFF keying: repeat each bit ``samples_per_bit`` times.
+
+    Returns a float array in {0.0, 1.0}; multiply by the tag's channel to get
+    its complex contribution at the reader.
+    """
+    ensure_positive_int(samples_per_bit, "samples_per_bit")
+    arr = as_bits(bits).astype(float)
+    return np.repeat(arr, samples_per_bit)
+
+
+def ook_waveform(
+    bits: Sequence[int],
+    channel: complex,
+    samples_per_bit: int = 50,
+    noise_std: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    cw_level: complex = CW_LEVEL,
+) -> np.ndarray:
+    """Oversampled received waveform of a single tag's OOK transmission.
+
+    ``y(t) = cw_level + h · b(t) + n(t)`` — two magnitude levels, one per bit
+    value (paper Fig. 2(a)).
+    """
+    base = tag_baseband(bits, samples_per_bit) * channel + cw_level
+    if noise_std > 0:
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        base = base + awgn(base.shape, noise_std, rng)
+    return base
+
+
+def collision_trace(
+    bit_matrix: np.ndarray,
+    channels: Sequence[complex],
+    samples_per_bit: int = 50,
+    noise_std: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    cw_level: complex = CW_LEVEL,
+    sample_offsets: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Oversampled waveform of ``K`` tags colliding.
+
+    Parameters
+    ----------
+    bit_matrix:
+        ``(K, n_bits)`` array; row *i* is tag *i*'s bit stream.
+    channels:
+        ``K`` complex coefficients.
+    sample_offsets:
+        Optional per-tag integer sample delays modelling imperfect
+        synchronization (used by the Fig. 8 drift study). Positive values
+        delay the tag's waveform; the trace is truncated to the shortest
+        aligned length.
+
+    With two tags the magnitude of the result exhibits four levels — the
+    "00/01/10/11" structure of paper Fig. 2(b).
+    """
+    bit_matrix = np.atleast_2d(np.asarray(bit_matrix, dtype=np.uint8))
+    channels = np.asarray(channels, dtype=complex)
+    if bit_matrix.shape[0] != channels.size:
+        raise ValueError(
+            f"bit_matrix has {bit_matrix.shape[0]} rows but {channels.size} channels given"
+        )
+    n_samples = bit_matrix.shape[1] * samples_per_bit
+    offsets = np.zeros(channels.size, dtype=int)
+    if sample_offsets is not None:
+        offsets = np.asarray(sample_offsets, dtype=int)
+        if offsets.size != channels.size:
+            raise ValueError("sample_offsets length must match number of tags")
+        if np.any(offsets < 0):
+            raise ValueError("sample_offsets must be non-negative")
+    max_off = int(offsets.max()) if offsets.size else 0
+    total = n_samples + max_off
+    acc = np.full(total, cw_level, dtype=complex)
+    for i in range(channels.size):
+        wave = tag_baseband(bit_matrix[i], samples_per_bit) * channels[i]
+        acc[offsets[i] : offsets[i] + n_samples] += wave
+    acc = acc[max_off : max_off + n_samples] if max_off else acc
+    if noise_std > 0:
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        acc = acc + awgn(acc.shape, noise_std, rng)
+    return acc
+
+
+def received_symbols(
+    transmit_matrix: np.ndarray,
+    channels: Sequence[complex],
+    noise_std: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-slot complex symbols ``y = B^T·h + n`` (CW leakage removed).
+
+    Parameters
+    ----------
+    transmit_matrix:
+        ``(n_slots, K)`` binary matrix; entry ``(j, i)`` is 1 if tag *i*
+        reflects during slot *j*. This is the matrix ``A`` of Eq. 2 during
+        identification and ``D`` of Eq. 7 during data transfer.
+    channels:
+        ``K`` complex channel coefficients.
+
+    Returns
+    -------
+    ``(n_slots,)`` complex array of received symbols.
+    """
+    tx = np.atleast_2d(np.asarray(transmit_matrix, dtype=float))
+    h = np.asarray(channels, dtype=complex)
+    if tx.shape[1] != h.size:
+        raise ValueError(f"transmit matrix has {tx.shape[1]} columns but {h.size} channels given")
+    y = tx @ h
+    if noise_std > 0:
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        y = y + awgn(y.shape, noise_std, rng)
+    return y
+
+
+def slot_energies(symbols: np.ndarray) -> np.ndarray:
+    """Per-slot received power ``|y_j|^2``.
+
+    The K-estimation and bucketing stages only need an occupied/empty
+    decision per slot, which the reader makes by thresholding this energy.
+    """
+    return np.abs(np.asarray(symbols)) ** 2

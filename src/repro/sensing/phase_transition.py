@@ -1,0 +1,82 @@
+"""Phase-transition utilities for sparse recovery.
+
+Compressive sensing exhibits a sharp success/failure boundary in the
+(measurements M, sparsity K) plane; the paper's claim that ``M ≈ K·log a``
+suffices is a point on that surface. These helpers sweep the boundary for
+the binary on-air matrices Buzz actually uses, feeding the solver-ablation
+bench and providing a principled way to pick ``cs_margin``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.phy.noise import awgn
+from repro.sensing.matrices import bernoulli_matrix
+from repro.sensing.recovery import recover_sparse
+from repro.utils.validation import ensure_positive_int, ensure_probability
+
+__all__ = ["PhaseTransitionPoint", "success_probability", "sweep_measurements"]
+
+
+@dataclass(frozen=True)
+class PhaseTransitionPoint:
+    """Empirical recovery probability at one (M, K, N) operating point."""
+
+    n_measurements: int
+    sparsity: int
+    n_columns: int
+    success_rate: float
+    trials: int
+
+
+def success_probability(
+    n_measurements: int,
+    sparsity: int,
+    n_columns: int,
+    trials: int = 20,
+    method: str = "bp",
+    noise_std: float = 0.02,
+    density: float = 0.5,
+    seed: int = 0,
+) -> PhaseTransitionPoint:
+    """Probability that the exact support is recovered at this point."""
+    ensure_positive_int(n_measurements, "n_measurements")
+    ensure_positive_int(sparsity, "sparsity")
+    ensure_positive_int(n_columns, "n_columns")
+    ensure_positive_int(trials, "trials")
+    ensure_probability(density, "density")
+    successes = 0
+    for trial in range(trials):
+        rng = np.random.default_rng(seed * 10_000 + trial)
+        a = bernoulli_matrix(n_measurements, n_columns, density, rng).astype(float)
+        z = np.zeros(n_columns, dtype=complex)
+        support = np.sort(rng.choice(n_columns, size=sparsity, replace=False))
+        z[support] = rng.uniform(0.5, 2.0, sparsity) * np.exp(
+            1j * rng.uniform(0, 2 * np.pi, sparsity)
+        )
+        y = a @ z + awgn(n_measurements, noise_std, rng)
+        result = recover_sparse(a, y, sparsity=sparsity, method=method, noise_std=noise_std)
+        successes += int(set(result.support.tolist()) == set(support.tolist()))
+    return PhaseTransitionPoint(
+        n_measurements=n_measurements,
+        sparsity=sparsity,
+        n_columns=n_columns,
+        success_rate=successes / trials,
+        trials=trials,
+    )
+
+
+def sweep_measurements(
+    sparsity: int,
+    n_columns: int,
+    measurement_grid: Sequence[int],
+    **kwargs,
+) -> List[PhaseTransitionPoint]:
+    """Success probability along an M grid — one slice of the transition."""
+    return [
+        success_probability(m, sparsity, n_columns, **kwargs) for m in measurement_grid
+    ]

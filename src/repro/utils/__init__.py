@@ -1,0 +1,66 @@
+"""Shared utilities for the Buzz reproduction.
+
+This package deliberately holds only generic helpers — deterministic random
+number streams, bit manipulation, unit conversions, empirical statistics and
+argument validation. Anything that encodes knowledge about backscatter
+communication lives in a domain package (``repro.phy``, ``repro.coding``,
+``repro.core``, ...).
+"""
+
+from repro.utils.bits import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_int,
+    hamming_distance,
+    random_bits,
+)
+from repro.utils.rng import SeedSequenceFactory, derive_seed, stream
+from repro.utils.stats import (
+    Summary,
+    bootstrap_ci,
+    empirical_cdf,
+    geometric_mean,
+    summarize,
+)
+from repro.utils.units import (
+    db_to_linear,
+    db_to_power,
+    linear_to_db,
+    power_to_db,
+    us,
+    ms,
+)
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_probability,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "Summary",
+    "bits_from_bytes",
+    "bits_from_int",
+    "bits_to_bytes",
+    "bits_to_int",
+    "bootstrap_ci",
+    "db_to_linear",
+    "db_to_power",
+    "derive_seed",
+    "empirical_cdf",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_positive_int",
+    "ensure_probability",
+    "geometric_mean",
+    "hamming_distance",
+    "linear_to_db",
+    "ms",
+    "power_to_db",
+    "random_bits",
+    "stream",
+    "summarize",
+    "us",
+]

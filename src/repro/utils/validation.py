@@ -1,0 +1,48 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numbers
+
+__all__ = [
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_positive_int",
+    "ensure_probability",
+]
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def ensure_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if a strictly positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return int(value)
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Return ``value`` if in [0, 1], else raise ``ValueError``."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def ensure_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Return ``value`` if in the closed interval [low, high], else raise."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)

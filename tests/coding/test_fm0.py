@@ -1,0 +1,73 @@
+"""Tests for repro.coding.fm0."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.fm0 import fm0_decode, fm0_encode
+from repro.utils.bits import random_bits
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=128)
+
+
+class TestFm0Encode:
+    def test_two_halfbits_per_bit(self):
+        assert fm0_encode([1, 0, 1]).size == 6
+
+    def test_levels_are_pm_one(self):
+        wave = fm0_encode(random_bits(50, np.random.default_rng(0)))
+        assert set(np.unique(wave)) <= {-1.0, 1.0}
+
+    def test_boundary_always_inverts(self):
+        wave = fm0_encode(random_bits(100, np.random.default_rng(1)))
+        # level at end of bit i must differ from level at start of bit i+1
+        ends = wave[1::2][:-1]
+        starts = wave[0::2][1:]
+        assert np.all(ends != starts)
+
+    def test_zero_has_midbit_transition(self):
+        wave = fm0_encode([0])
+        assert wave[0] != wave[1]
+
+    def test_one_has_no_midbit_transition(self):
+        wave = fm0_encode([1])
+        assert wave[0] == wave[1]
+
+    def test_initial_level_validated(self):
+        with pytest.raises(ValueError):
+            fm0_encode([1], initial_level=0.5)
+
+
+class TestFm0Decode:
+    @given(bit_lists)
+    def test_roundtrip(self, bits):
+        decoded, violations = fm0_decode(fm0_encode(bits))
+        assert decoded.tolist() == bits
+        assert violations == 0
+
+    def test_roundtrip_inverted_start(self):
+        bits = [1, 0, 0, 1, 1, 0]
+        decoded, violations = fm0_decode(fm0_encode(bits, initial_level=-1.0))
+        assert decoded.tolist() == bits and violations == 0
+
+    def test_decode_survives_amplitude_scaling(self):
+        bits = random_bits(64, np.random.default_rng(2))
+        decoded, _ = fm0_decode(0.05 * fm0_encode(bits))
+        assert np.array_equal(decoded, bits)
+
+    def test_decode_with_noise(self):
+        rng = np.random.default_rng(3)
+        bits = random_bits(64, rng)
+        wave = fm0_encode(bits) + 0.3 * rng.standard_normal(128)
+        decoded, _ = fm0_decode(wave)
+        assert np.mean(decoded != bits) < 0.05
+
+    def test_violations_flag_corruption(self):
+        wave = fm0_encode([1, 1, 1, 1])
+        wave[2:4] = wave[0:2]  # duplicate a half-bit pair, breaking inversion
+        _, violations = fm0_decode(wave)
+        assert violations > 0
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            fm0_decode(np.ones(5))

@@ -1,0 +1,78 @@
+"""Tests for repro.coding.miller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.miller import miller_basis, miller_decode, miller_encode, miller_switch_count
+from repro.utils.bits import random_bits
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestMillerBasis:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_lengths(self, m):
+        b0, b1 = miller_basis(m)
+        assert b0.size == b1.size == 2 * m
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_orthogonality(self, m):
+        b0, b1 = miller_basis(m)
+        assert abs(float(b0 @ b1)) < 1e-12
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValueError):
+            miller_basis(3)
+
+
+class TestMillerEncode:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_samples_per_bit(self, m):
+        assert miller_encode([1, 0], m).size == 4 * m
+
+    def test_levels_pm_one(self):
+        wave = miller_encode(random_bits(30, np.random.default_rng(0)), 4)
+        assert set(np.unique(wave)) <= {-1.0, 1.0}
+
+    def test_switch_rate_approx_2m_per_bit(self):
+        bits = random_bits(500, np.random.default_rng(1))
+        switches = miller_switch_count(bits, 4)
+        assert 6.0 < switches / bits.size < 9.0  # ≈ 8 for Miller-4
+
+    def test_switch_count_empty(self):
+        assert miller_switch_count([], 4) == 0
+
+    def test_miller4_switches_far_exceed_ook(self):
+        bits = random_bits(200, np.random.default_rng(2))
+        ook_switches = int(np.count_nonzero(np.diff(bits))) + 1
+        assert miller_switch_count(bits, 4) > 5 * ook_switches
+
+
+class TestMillerDecode:
+    @given(bit_lists)
+    def test_roundtrip_m4(self, bits):
+        assert miller_decode(miller_encode(bits, 4), 4).tolist() == bits
+
+    @pytest.mark.parametrize("m", [2, 8])
+    def test_roundtrip_other_m(self, m):
+        bits = random_bits(64, np.random.default_rng(3))
+        assert np.array_equal(miller_decode(miller_encode(bits, m), m), bits)
+
+    def test_noise_robustness_scales_with_m(self):
+        """The matched filter's processing gain grows with M (why TDMA
+        uses Miller-4 for robustness)."""
+        rng = np.random.default_rng(4)
+        bits = random_bits(400, rng)
+        noise_sigma = 1.4
+
+        def error_rate(m):
+            wave = miller_encode(bits, m)
+            noisy = wave + noise_sigma * rng.standard_normal(wave.size)
+            return float(np.mean(miller_decode(noisy, m) != bits))
+
+        assert error_rate(8) < error_rate(2)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            miller_decode(np.ones(7), 4)

@@ -1,0 +1,102 @@
+"""Tests for repro.coding.prng — reader-regenerable tag randomness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.prng import TagLfsr, slot_decision, transmit_pattern, transmit_pattern_matrix
+
+
+class TestTagLfsr:
+    def test_deterministic_in_seed(self):
+        assert np.array_equal(TagLfsr(123).bits(64), TagLfsr(123).bits(64))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(TagLfsr(1).bits(64), TagLfsr(2).bits(64))
+
+    def test_zero_seed_remapped(self):
+        # An LFSR at state 0 would lock up; the seed must be remapped.
+        assert TagLfsr(0).bits(32).any()
+
+    def test_reset_rewinds(self):
+        lfsr = TagLfsr(7)
+        first = lfsr.bits(16)
+        lfsr.reset()
+        assert np.array_equal(first, lfsr.bits(16))
+
+    def test_balanced_output(self):
+        bits = TagLfsr(99).bits(4096)
+        assert abs(bits.mean() - 0.5) < 0.03
+
+    def test_period_is_maximal(self):
+        # Maximal 16-bit LFSR revisits its start state after 2^16 - 1 steps.
+        lfsr = TagLfsr(0xBEEF)
+        start = lfsr.state
+        count = 0
+        while True:
+            lfsr.next_bit()
+            count += 1
+            if lfsr.state == start:
+                break
+            assert count < 70_000
+        assert count == 2**16 - 1
+
+    def test_uniform_in_unit_interval(self):
+        lfsr = TagLfsr(5)
+        vals = [lfsr.uniform() for _ in range(500)]
+        assert 0.0 <= min(vals) and max(vals) < 1.0
+        assert abs(np.mean(vals) - 0.5) < 0.05
+
+    def test_bernoulli_bias(self):
+        lfsr = TagLfsr(11)
+        draws = [lfsr.bernoulli(0.25) for _ in range(2000)]
+        assert abs(np.mean(draws) - 0.25) < 0.04
+
+
+class TestSlotDecision:
+    def test_deterministic(self):
+        assert slot_decision(42, 7, 0.5) == slot_decision(42, 7, 0.5)
+
+    def test_probability_respected(self):
+        decisions = [slot_decision(9, s, 0.3) for s in range(20_000)]
+        assert abs(np.mean(decisions) - 0.3) < 0.02
+
+    def test_p_zero_and_one(self):
+        assert slot_decision(1, 1, 0.0) == 0
+        assert slot_decision(1, 1, 1.0) == 1
+
+    def test_salt_decorrelates(self):
+        a = [slot_decision(5, s, 0.5, salt=1) for s in range(2000)]
+        b = [slot_decision(5, s, 0.5, salt=2) for s in range(2000)]
+        agreement = np.mean(np.array(a) == np.array(b))
+        assert 0.4 < agreement < 0.6
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=0, max_value=2**20))
+    def test_output_is_binary(self, seed, slot):
+        assert slot_decision(seed, slot, 0.5) in (0, 1)
+
+
+class TestTransmitPattern:
+    def test_matrix_matches_columns(self):
+        seeds = [3, 14, 159]
+        matrix = transmit_pattern_matrix(seeds, 32, p=0.5)
+        assert matrix.shape == (32, 3)
+        for col, seed in enumerate(seeds):
+            assert np.array_equal(matrix[:, col], transmit_pattern(seed, 32, p=0.5))
+
+    def test_empty_seed_list(self):
+        assert transmit_pattern_matrix([], 8).shape == (8, 0)
+
+    def test_reader_tag_agreement(self):
+        """The core protocol property: a tag generating its own pattern and
+        a reader regenerating it from the id must agree bit-for-bit."""
+        seed = 0xABCD
+        tag_view = np.array([slot_decision(seed, j, 0.5) for j in range(64)], dtype=np.uint8)
+        reader_view = transmit_pattern(seed, 64, p=0.5)
+        assert np.array_equal(tag_view, reader_view)
+
+    def test_distinct_seeds_give_distinct_patterns(self):
+        m = transmit_pattern_matrix(list(range(40)), 64, p=0.5)
+        # No two 64-slot patterns should coincide (prob ~2^-64 each).
+        assert len({tuple(col) for col in m.T}) == 40

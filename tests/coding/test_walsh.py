@@ -1,0 +1,45 @@
+"""Tests for repro.coding.walsh."""
+
+import numpy as np
+import pytest
+
+from repro.coding.walsh import walsh_code_length, walsh_codes
+
+
+class TestWalshCodeLength:
+    @pytest.mark.parametrize(
+        "k,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (8, 8), (12, 16), (16, 16), (17, 32)]
+    )
+    def test_smallest_power_of_two(self, k, expected):
+        assert walsh_code_length(k) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            walsh_code_length(0)
+
+
+class TestWalshCodes:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32])
+    def test_orthogonality(self, n):
+        w = walsh_codes(n)
+        assert np.allclose(w @ w.T, n * np.eye(n))
+
+    def test_entries_pm_one(self):
+        w = walsh_codes(8)
+        assert set(np.unique(w)) == {-1.0, 1.0}
+
+    def test_row_zero_all_ones(self):
+        assert (walsh_codes(16)[0] == 1.0).all()
+
+    def test_nonzero_rows_are_zero_mean(self):
+        w = walsh_codes(16)
+        assert np.allclose(w[1:].sum(axis=1), 0.0)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            walsh_codes(12)
+
+    def test_paper_k12_anomaly(self):
+        """No Walsh set of length 12 exists; K=12 must use length 16 —
+        the cause of the CDMA bump in Figs. 10/11."""
+        assert walsh_code_length(12) == 16

@@ -1,0 +1,148 @@
+"""Tests for repro.core.bp_decoder — the bit-flipping BP decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bp_decoder import BitFlipDecoder
+
+
+def _random_instance(rng, k=8, n_slots=14, density=0.4, noise=0.01):
+    h = rng.standard_normal(k) + 1j * rng.standard_normal(k)
+    # keep channels away from zero so the instance is decodable
+    h += np.sign(h.real) * 0.5
+    d = (rng.random((n_slots, k)) < density).astype(np.uint8)
+    bits = (rng.random(k) < 0.5).astype(np.uint8)
+    y = (d * h) @ bits + noise * (rng.standard_normal(n_slots) + 1j * rng.standard_normal(n_slots))
+    return d, h, bits, y
+
+
+class TestConstruction:
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            BitFlipDecoder(np.ones((3, 4), dtype=np.uint8), np.ones(3))
+
+    def test_neighbour_structure(self):
+        d = np.array([[1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        dec = BitFlipDecoder(d, np.ones(3))
+        assert set(dec._nofn[0]) == {0, 1}
+        assert set(dec._nofn[2]) == {2}
+
+
+class TestDecode:
+    def test_recovers_truth_overdetermined(self):
+        rng = np.random.default_rng(0)
+        d, h, bits, y = _random_instance(rng)
+        outcome = BitFlipDecoder(d, h).decode_best_of(y, restarts=4, rng=rng)
+        assert np.array_equal(outcome.bits, bits)
+        assert outcome.converged
+
+    def test_noiseless_residual_zero(self):
+        rng = np.random.default_rng(1)
+        d, h, bits, y = _random_instance(rng, noise=0.0)
+        outcome = BitFlipDecoder(d, h).decode_best_of(y, restarts=4, rng=rng)
+        assert outcome.residual_norm < 1e-9
+
+    def test_warm_start_noop_when_correct(self):
+        rng = np.random.default_rng(2)
+        d, h, bits, y = _random_instance(rng)
+        outcome = BitFlipDecoder(d, h).decode(y, init=bits)
+        assert np.array_equal(outcome.bits, bits)
+        assert outcome.flips == 0
+
+    def test_monotone_error_decrease(self):
+        """Every flip strictly reduces ‖DHb − y‖², so the final error can
+        never exceed the initial error."""
+        rng = np.random.default_rng(3)
+        d, h, bits, y = _random_instance(rng)
+        dec = BitFlipDecoder(d, h)
+        init = (rng.random(8) < 0.5).astype(np.uint8)
+        initial_error = np.linalg.norm((d * h) @ init - y)
+        outcome = dec.decode(y, init=init)
+        assert outcome.residual_norm <= initial_error + 1e-12
+
+    def test_frozen_bits_never_flip(self):
+        rng = np.random.default_rng(4)
+        d, h, bits, y = _random_instance(rng)
+        wrong = bits.copy()
+        wrong[0] ^= 1  # freeze a deliberately wrong bit
+        frozen = np.zeros(8, dtype=bool)
+        frozen[0] = True
+        outcome = BitFlipDecoder(d, h).decode(y, init=wrong, frozen=frozen)
+        assert outcome.bits[0] == wrong[0]
+
+    def test_frozen_without_values_rejected(self):
+        rng = np.random.default_rng(5)
+        d, h, _, y = _random_instance(rng)
+        frozen = np.ones(8, dtype=bool)
+        with pytest.raises(ValueError):
+            BitFlipDecoder(d, h).decode(y, frozen=frozen, rng=rng)
+
+    def test_random_init_requires_rng(self):
+        rng = np.random.default_rng(6)
+        d, h, _, y = _random_instance(rng)
+        with pytest.raises(ValueError):
+            BitFlipDecoder(d, h).decode(y)
+
+    def test_zero_weight_tag_keeps_init(self):
+        """A tag that never transmitted has no evidence; its bit must stay
+        at the initial value rather than being guessed."""
+        d = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        h = np.array([1.0, 2.0])
+        y = np.array([1.0 + 0j, 1.0 + 0j])  # tag 0 sent b=1
+        init = np.array([0, 1], dtype=np.uint8)
+        outcome = BitFlipDecoder(d, h).decode(y, init=init)
+        assert outcome.bits[0] == 1
+        assert outcome.bits[1] == 1  # untouched init
+
+    def test_pair_flip_escapes_cancelling_channels(self):
+        """h0 ≈ −h1 creates a two-bit local minimum that single flips
+        cannot leave — the pair-flip escape must find the truth when a
+        disambiguating slot exists."""
+        h = np.array([1.0 + 0.2j, -1.0 - 0.19j, 0.7j])
+        d = np.array(
+            [[1, 1, 1], [1, 1, 0], [0, 1, 1], [1, 1, 1], [1, 0, 1]], dtype=np.uint8
+        )
+        bits = np.array([1, 1, 0], dtype=np.uint8)
+        y = (d * h) @ bits
+        # start exactly in the joint-flipped local minimum
+        init = np.array([0, 0, 0], dtype=np.uint8)
+        outcome = BitFlipDecoder(d, h).decode(y, init=init)
+        assert np.array_equal(outcome.bits, bits)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_property_fixed_point_is_local_minimum(self, seed):
+        """At termination no single flip may further reduce the error."""
+        rng = np.random.default_rng(seed)
+        d, h, bits, y = _random_instance(rng, k=6, n_slots=10)
+        dec = BitFlipDecoder(d, h)
+        outcome = dec.decode(y, rng=rng)
+        final_error = np.linalg.norm((d * h) @ outcome.bits - y) ** 2
+        for i in range(6):
+            flipped = outcome.bits.copy()
+            flipped[i] ^= 1
+            alt_error = np.linalg.norm((d * h) @ flipped - y) ** 2
+            assert alt_error >= final_error - 1e-9
+
+
+class TestIncrementalGains:
+    def test_incremental_matches_full_recompute(self):
+        """The neighbours-of-neighbours update must agree with recomputing
+        every gain from scratch after each flip."""
+        rng = np.random.default_rng(7)
+        d, h, bits, y = _random_instance(rng, k=6, n_slots=12)
+        dec = BitFlipDecoder(d, h)
+        b = (rng.random(6) < 0.5).astype(np.uint8)
+        frozen = np.zeros(6, dtype=bool)
+        residual = y - dec._signal @ b.astype(float)
+        gains = dec._all_gains(residual, b, frozen)
+        # flip the best bit manually, update incrementally, compare to full
+        best = int(np.argmax(gains))
+        delta = h[best] * (1.0 - 2.0 * float(b[best]))
+        residual[dec._rows_of[best]] -= delta
+        b[best] ^= 1
+        dec._update_gains(gains, dec._nofn[best], residual, b, frozen)
+        full = dec._all_gains(residual, b, frozen)
+        affected = dec._nofn[best]
+        assert np.allclose(gains[affected], full[affected])

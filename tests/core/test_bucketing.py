@@ -1,0 +1,89 @@
+"""Tests for repro.core.bucketing — Stage-2 id-space reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.bucketing import bucket_transmit_matrix, candidate_ids, run_bucketing
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.nodes.tag import bucket_hash
+from repro.phy.channel import ChannelModel
+
+MODEL = ChannelModel(mean_snr_db=22.0, near_far_db=8.0, noise_std=0.1)
+
+
+def _population(k, seed, id_space):
+    pop = make_population(k, np.random.default_rng(seed), channel_model=MODEL)
+    rng = np.random.default_rng(seed + 1)
+    for tag in pop.tags:
+        tag.draw_temp_id(id_space, rng)
+    return pop
+
+
+class TestBucketTransmitMatrix:
+    def test_one_slot_per_tag(self):
+        pop = _population(6, 0, 160)
+        m = bucket_transmit_matrix(pop.tags, 40)
+        assert m.shape == (40, 6)
+        assert (m.sum(axis=0) == 1).all()
+
+    def test_slot_matches_hash(self):
+        pop = _population(6, 1, 160)
+        m = bucket_transmit_matrix(pop.tags, 40)
+        for col, tag in enumerate(pop.tags):
+            assert m[bucket_hash(tag.temp_id, 40), col] == 1
+
+
+class TestCandidateIds:
+    def test_empty_occupancy_gives_nothing(self):
+        assert candidate_ids(np.zeros(10, dtype=bool), 100).size == 0
+
+    def test_full_occupancy_gives_everything(self):
+        assert candidate_ids(np.ones(10, dtype=bool), 100).size == 100
+
+    def test_only_occupied_buckets_survive(self):
+        occupied = np.zeros(10, dtype=bool)
+        occupied[3] = True
+        cands = candidate_ids(occupied, 200)
+        assert all(bucket_hash(int(i), 10) == 3 for i in cands)
+
+
+class TestRunBucketing:
+    def test_true_ids_always_survive(self):
+        """Completeness: an active tag's id can never be eliminated."""
+        for seed in range(10):
+            pop = _population(8, seed, 640)
+            fe = ReaderFrontEnd(noise_std=0.1)
+            result = run_bucketing(pop.tags, 80, 640, fe, np.random.default_rng(seed))
+            for tag in pop.tags:
+                assert tag.temp_id in result.candidates
+
+    def test_elimination_is_substantial(self):
+        """At most ~a·K + (false-occupancy) ids survive of the a·c·K space."""
+        pop = _population(8, 42, 640)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_bucketing(pop.tags, 80, 640, fe, np.random.default_rng(0))
+        # 8 tags → ≤ 8 true buckets of 8 ids each, plus ~e⁻⁴ false buckets.
+        assert result.n_candidates <= 8 * 8 + 4 * 8
+
+    def test_slots_used(self):
+        pop = _population(4, 7, 160)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_bucketing(pop.tags, 40, 160, fe, np.random.default_rng(1))
+        assert result.slots_used == 40
+
+    def test_occupied_count_lower_bounds_k(self):
+        """Each tag occupies exactly one bucket, so #occupied ≤ K but also
+        ≥ #distinct buckets of the true tags."""
+        pop = _population(8, 9, 640)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_bucketing(pop.tags, 80, 640, fe, np.random.default_rng(2))
+        true_buckets = {t.bucket_of(80) for t in pop.tags}
+        occupied_indices = set(np.flatnonzero(result.occupied).tolist())
+        assert true_buckets <= occupied_indices
+
+    def test_invalid_bucket_count(self):
+        pop = _population(2, 11, 40)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        with pytest.raises(ValueError):
+            run_bucketing(pop.tags, 0, 40, fe, np.random.default_rng(0))

@@ -1,0 +1,64 @@
+"""Tests for repro.core.buzz — the end-to-end system."""
+
+import numpy as np
+import pytest
+
+from repro.core.buzz import BuzzSystem
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelModel
+
+MODEL = ChannelModel(mean_snr_db=22.0, near_far_db=10.0, noise_std=0.1)
+
+
+def _system():
+    return BuzzSystem(front_end=ReaderFrontEnd(noise_std=0.1))
+
+
+class TestBuzzSystem:
+    def test_full_pipeline_success(self):
+        successes = 0
+        for seed in range(5):
+            pop = make_population(6, np.random.default_rng(seed), channel_model=MODEL,
+                                  message_bits=24)
+            result = _system().run(pop.tags, np.random.default_rng(seed))
+            if result.success:
+                successes += 1
+                assert np.array_equal(result.data.messages, pop.messages)
+        assert successes >= 4
+
+    def test_total_duration_is_sum(self):
+        pop = make_population(4, np.random.default_rng(10), channel_model=MODEL,
+                              message_bits=24)
+        result = _system().run(pop.tags, np.random.default_rng(10))
+        assert result.total_duration_s == pytest.approx(
+            result.identification.duration_s + result.data.duration_s
+        )
+
+    def test_data_phase_uses_estimated_channels(self):
+        """When identification succeeds, the data phase must decode with
+        the protocol's own channel estimates (no genie)."""
+        pop = make_population(6, np.random.default_rng(20), channel_model=MODEL,
+                              message_bits=24)
+        system = _system()
+        result = system.run(pop.tags, np.random.default_rng(20))
+        if result.identification.exact:
+            assert result.data.decoded_mask.all()
+            assert result.data.bit_errors == 0
+
+    def test_periodic_mode_skips_identification(self):
+        """§4b: periodic networks assign ids statically and go straight to
+        the data phase."""
+        pop = make_population(6, np.random.default_rng(30), channel_model=MODEL,
+                              message_bits=24)
+        rng = np.random.default_rng(30)
+        for i, tag in enumerate(pop.tags):
+            tag.temp_id = i  # static schedule
+        result = _system().run_data_phase(pop.tags, rng)
+        assert result.decoded_mask.all()
+        assert result.bit_errors == 0
+
+    def test_identification_only(self):
+        pop = make_population(4, np.random.default_rng(40), channel_model=MODEL)
+        ident = _system().run_identification(pop.tags, np.random.default_rng(40))
+        assert ident.slots_used > 0

@@ -1,0 +1,79 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import BuzzConfig
+
+
+class TestBuzzConfigDefaults:
+    def test_paper_values(self):
+        cfg = BuzzConfig()
+        assert cfg.slots_per_step == 4
+        assert cfg.empty_threshold == pytest.approx(0.75)
+        assert cfg.c == 10
+
+    def test_a_equals_k(self):
+        cfg = BuzzConfig()
+        assert cfg.a(16) == 16  # paper: a = K
+
+    def test_a_floor(self):
+        assert BuzzConfig().a(1) == 2
+
+    def test_n_buckets(self):
+        assert BuzzConfig().n_buckets(8) == 80
+
+    def test_temp_id_space(self):
+        cfg = BuzzConfig()
+        assert cfg.temp_id_space(8) == cfg.a(8) * cfg.n_buckets(8)
+
+
+class TestDerivedParameters:
+    def test_cs_slots_grows_with_k(self):
+        cfg = BuzzConfig()
+        assert cfg.cs_slots(4) < cfg.cs_slots(16)
+
+    def test_cs_slots_floor(self):
+        cfg = BuzzConfig(cs_min_slots=20)
+        assert cfg.cs_slots(1) >= 20
+
+    def test_cs_slots_at_least_2k(self):
+        cfg = BuzzConfig()
+        for k in (4, 8, 16, 32):
+            assert cfg.cs_slots(k) >= 2 * k
+
+    def test_density_clamped(self):
+        cfg = BuzzConfig(density_colliders=5.0, density_min=0.2, density_max=0.85)
+        assert cfg.data_density(2) == pytest.approx(0.85)
+        assert cfg.data_density(100) == pytest.approx(0.2)
+
+    def test_density_mid_range(self):
+        cfg = BuzzConfig(density_colliders=5.0)
+        assert cfg.data_density(16) == pytest.approx(5.0 / 16)
+
+    def test_expected_colliders_tracks_target(self):
+        cfg = BuzzConfig(density_colliders=5.0)
+        for k in (8, 10, 16):
+            assert k * cfg.data_density(k) == pytest.approx(5.0, abs=1.0)
+
+    def test_max_data_slots(self):
+        cfg = BuzzConfig(max_data_slots_factor=10.0)
+        assert cfg.max_data_slots(8, 32) == 80
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BuzzConfig(empty_threshold=1.5)
+
+    def test_bad_density_order(self):
+        with pytest.raises(ValueError):
+            BuzzConfig(density_min=0.9, density_max=0.1)
+
+    def test_bad_restarts(self):
+        with pytest.raises(ValueError):
+            BuzzConfig(bp_restarts=-1)
+
+    def test_frozen(self):
+        cfg = BuzzConfig()
+        with pytest.raises(Exception):
+            cfg.c = 5

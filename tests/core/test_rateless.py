@@ -1,0 +1,173 @@
+"""Tests for repro.core.rateless — the distributed rateless code."""
+
+import numpy as np
+import pytest
+
+from repro.coding.crc import CRC5_GEN2
+from repro.core.config import BuzzConfig
+from repro.core.rateless import RatelessDecoder, run_rateless_uplink
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelModel
+
+GOOD = ChannelModel(mean_snr_db=24.0, near_far_db=8.0, noise_std=0.1)
+BAD = ChannelModel(mean_snr_db=10.0, near_far_db=6.0, noise_std=0.1)
+
+
+def _population(k, seed, model=GOOD, message_bits=24):
+    pop = make_population(k, np.random.default_rng(seed), channel_model=model,
+                          message_bits=message_bits)
+    rng = np.random.default_rng(seed + 1000)
+    for tag in pop.tags:
+        tag.draw_temp_id(10 * k * k, rng)
+    return pop
+
+
+class TestRatelessDecoder:
+    def test_expected_row_matches_tags(self):
+        pop = _population(6, 0)
+        cfg = BuzzConfig()
+        p = cfg.data_density(6)
+        dec = RatelessDecoder([t.temp_id for t in pop.tags], pop.channels, 29, p)
+        for slot in range(20):
+            tag_row = np.array([1 if t.data_transmits(slot, p) else 0 for t in pop.tags])
+            assert np.array_equal(dec.expected_row(slot), tag_row)
+
+    def test_add_slot_validates_length(self):
+        pop = _population(2, 1)
+        dec = RatelessDecoder([1, 2], pop.channels, 10, 0.5)
+        with pytest.raises(ValueError):
+            dec.add_slot(np.zeros(5, dtype=complex))
+
+    def test_decode_before_slots_is_empty_progress(self):
+        dec = RatelessDecoder([1, 2], np.ones(2, dtype=complex), 10, 0.5)
+        progress = dec.try_decode()
+        assert progress.slot == 0 and progress.total_decoded == 0
+
+    def test_seed_channel_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RatelessDecoder([1, 2, 3], np.ones(2, dtype=complex), 10, 0.5)
+
+
+class TestRunRatelessUplink:
+    def test_good_channels_all_decoded_correctly(self):
+        for seed in range(5):
+            pop = _population(6, seed)
+            fe = ReaderFrontEnd(noise_std=0.1)
+            result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(seed))
+            assert result.decoded_mask.all()
+            assert result.bit_errors == 0
+            assert np.array_equal(result.messages, pop.messages)
+
+    def test_rate_above_one_on_good_channels(self):
+        rates = []
+        for seed in range(6):
+            pop = _population(6, 100 + seed)
+            fe = ReaderFrontEnd(noise_std=0.1)
+            result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(seed))
+            rates.append(result.bits_per_symbol())
+        assert np.mean(rates) > 1.0
+
+    def test_rate_adapts_down_on_bad_channels(self):
+        """The rateless property: worse channels → more slots → lower rate,
+        but still correct delivery."""
+        good_rates, bad_rates = [], []
+        for seed in range(4):
+            pop = _population(4, 200 + seed, model=GOOD)
+            fe = ReaderFrontEnd(noise_std=0.1)
+            good_rates.append(
+                run_rateless_uplink(pop.tags, fe, np.random.default_rng(seed)).bits_per_symbol()
+            )
+            pop = _population(4, 300 + seed, model=BAD)
+            result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(seed))
+            bad_rates.append(result.bits_per_symbol())
+        assert np.mean(bad_rates) < np.mean(good_rates)
+
+    def test_transmissions_match_density(self):
+        pop = _population(8, 2)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        cfg = BuzzConfig()
+        result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(2), config=cfg)
+        expected = cfg.data_density(8) * result.slots_used
+        assert abs(result.transmissions.mean() - expected) < 3.0
+
+    def test_progress_counts_monotone(self):
+        pop = _population(8, 3)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(3))
+        totals = [p.total_decoded for p in result.progress]
+        assert all(b >= a for a, b in zip(totals, totals[1:]))
+        assert totals[-1] == 8
+
+    def test_max_slots_respected(self):
+        pop = _population(4, 4, model=ChannelModel(mean_snr_db=-5.0, noise_std=0.1))
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_uplink(
+            pop.tags, fe, np.random.default_rng(4), max_slots=6
+        )
+        assert result.slots_used <= 6
+
+    def test_duration_accounting(self):
+        pop = _population(4, 5, message_bits=24)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(5))
+        p_bits = 24 + 5
+        symbol_s = 1.0 / 80_000.0
+        expected = result.slots_used * p_bits * symbol_s
+        assert result.duration_s == pytest.approx(expected, abs=1.5e-3)
+
+    def test_channel_estimate_error_tolerated(self):
+        """Decoding with slightly wrong ĥ (as identification provides) must
+        still deliver all messages on good channels."""
+        pop = _population(6, 6)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        rng = np.random.default_rng(6)
+        perturbed = pop.channels * (1.0 + 0.03 * rng.standard_normal(6))
+        result = run_rateless_uplink(
+            pop.tags, fe, rng, channel_estimates=perturbed
+        )
+        assert result.decoded_mask.all()
+        assert result.bit_errors == 0
+
+    def test_empty_population_rejected(self):
+        fe = ReaderFrontEnd(noise_std=0.1)
+        with pytest.raises(ValueError):
+            run_rateless_uplink([], fe, np.random.default_rng(0))
+
+    def test_single_tag(self):
+        pop = _population(1, 7)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(7))
+        assert result.decoded_mask.all()
+
+
+class TestVerificationSafety:
+    def test_no_wrong_freezes_across_seeds(self):
+        """The corroborated-CRC rule's whole point: when everything is
+        reported decoded, the messages must actually be right."""
+        for seed in range(8):
+            pop = _population(8, 400 + seed, model=ChannelModel(
+                mean_snr_db=16.0, near_far_db=12.0, noise_std=0.1))
+            fe = ReaderFrontEnd(noise_std=0.1)
+            result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(seed))
+            decoded = np.flatnonzero(result.decoded_mask)
+            for i in decoded:
+                assert np.array_equal(result.messages[i], pop.messages[i]), (
+                    f"seed {seed}: node {i} frozen with wrong bits"
+                )
+
+    def test_near_cancelling_pair_eventually_resolved(self):
+        """Two tags with h_i ≈ −h_j must not be frozen wrongly; they resolve
+        once their schedules diverge."""
+        rng = np.random.default_rng(9)
+        pop = make_population(
+            4, rng, channel_model=GOOD, message_bits=24,
+            channels=np.array([1.0 + 0.1j, -1.0 - 0.09j, 0.6j, 0.8]),
+        )
+        id_rng = np.random.default_rng(10)
+        for tag in pop.tags:
+            tag.draw_temp_id(160, id_rng)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_uplink(pop.tags, fe, np.random.default_rng(11))
+        assert result.decoded_mask.all()
+        assert result.bit_errors == 0

@@ -1,0 +1,68 @@
+"""Tests for repro.core.silencing — the §8.2 ACK-silencing variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.rateless import run_rateless_uplink
+from repro.core.silencing import ack_duration_s, run_rateless_with_silencing
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelModel
+
+MODEL = ChannelModel(mean_snr_db=24.0, near_far_db=8.0, noise_std=0.1)
+
+
+def _population(k, seed):
+    pop = make_population(k, np.random.default_rng(seed), channel_model=MODEL,
+                          message_bits=24)
+    rng = np.random.default_rng(seed + 99)
+    for tag in pop.tags:
+        tag.draw_temp_id(10 * k * k, rng)
+    return pop
+
+
+class TestAckDuration:
+    def test_positive_and_grows_with_space(self):
+        assert ack_duration_s(64) > 0
+        assert ack_duration_s(1 << 16) > ack_duration_s(64)
+
+
+class TestSilencedRun:
+    def test_all_delivered_correctly(self):
+        pop = _population(8, 0)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_with_silencing(pop.tags, fe, np.random.default_rng(0))
+        assert result.decoded_mask.all()
+        assert result.bit_errors == 0
+        assert np.array_equal(result.messages, pop.messages)
+
+    def test_ack_overhead_accounted(self):
+        pop = _population(8, 1)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_with_silencing(pop.tags, fe, np.random.default_rng(1))
+        assert result.ack_overhead_s > 0
+        # Duration must include the overhead on top of the airtime.
+        airtime = result.slots_used * pop.tags[0].message.size / 80_000.0
+        assert result.duration_s > airtime + result.ack_overhead_s * 0.99
+
+    def test_silencing_reduces_transmissions(self):
+        """Decoded-then-silenced tags must transmit less than in the plain
+        protocol on the same population and noise stream."""
+        pop = _population(10, 2)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        plain = run_rateless_uplink(pop.tags, fe, np.random.default_rng(7))
+        silenced = run_rateless_with_silencing(pop.tags, fe, np.random.default_rng(7))
+        assert silenced.transmissions.sum() <= plain.transmissions.sum()
+
+    def test_empty_population_rejected(self):
+        fe = ReaderFrontEnd(noise_std=0.1)
+        with pytest.raises(ValueError):
+            run_rateless_with_silencing([], fe, np.random.default_rng(0))
+
+    def test_max_slots_respected(self):
+        pop = _population(4, 3)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_with_silencing(
+            pop.tags, fe, np.random.default_rng(3), max_slots=3
+        )
+        assert result.slots_used <= 3

@@ -1,0 +1,124 @@
+"""Smoke + shape tests for every experiment module (reduced sizes).
+
+Each experiment must (a) run, (b) render, and (c) exhibit the headline
+*shape* of its paper figure. Full-size parameters are exercised by the
+benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2_waveforms,
+    fig3_constellation,
+    fig7_sync_offset,
+    fig8_clock_drift,
+    fig9_decoding_progress,
+    fig10_transfer_time,
+    fig11_message_errors,
+    fig12_challenging,
+    fig13_energy,
+    fig14_identification,
+    headline,
+    toy_example,
+)
+
+
+class TestToyExample:
+    def test_probabilities(self):
+        result = toy_example.run(n_trials=5000)
+        assert result.option1_exact == pytest.approx(1 / 3)
+        assert result.option2_exact == pytest.approx(1 / 4)
+        assert result.option2_simulated < result.option1_simulated
+        assert result.collision_sums_distinct
+        assert "1/4" not in toy_example.render(result)  # renders numbers
+
+
+class TestFig2:
+    def test_level_structure(self):
+        result = fig2_waveforms.run()
+        assert result.single_levels == 2
+        assert result.collision_levels == 4
+        assert "Fig. 2" in fig2_waveforms.render(result)
+
+
+class TestFig3:
+    def test_point_counts(self):
+        result = fig3_constellation.run(n_symbols=400)
+        assert result.single_points == 2
+        assert result.double_points == 4
+        assert result.double_cluster_error < 0.05
+
+
+class TestFig7:
+    def test_offsets_match_paper_statistics(self):
+        result = fig7_sync_offset.run(trials=60)
+        assert result.max_us("moo") < 1.0
+        assert result.p90_us("commercial") < result.p90_us("moo")
+        assert result.bit_fraction_at_rate("moo") < 0.1
+
+
+class TestFig8:
+    def test_drift_correction_contrast(self):
+        result = fig8_clock_drift.run()
+        assert result.final_uncorrected == pytest.approx(0.5, abs=0.05)
+        assert result.final_corrected < 0.02
+
+
+class TestFig9:
+    def test_ripple_shape(self):
+        result = fig9_decoding_progress.run(n_tags=8, message_bits=27, seed=5)
+        assert result.all_decoded
+        assert result.total_slots < 8 * 3
+        assert sum(result.newly_decoded) == 8
+        assert result.peak_rate_bits_per_symbol >= result.final_rate_bits_per_symbol
+
+
+class TestFig10:
+    def test_buzz_wins(self):
+        result = fig10_transfer_time.run(tag_counts=(4, 8), n_locations=2, n_traces=1)
+        assert result.buzz_speedup_over("tdma") > 1.0
+        for k in (4, 8):
+            assert result.mean_time_ms("buzz", k) < result.mean_time_ms("tdma", k)
+
+
+class TestFig11:
+    def test_reliability_ordering(self):
+        result = fig11_message_errors.run(tag_counts=(8,), n_locations=3, n_traces=1)
+        buzz = result.mean_undecoded("buzz", 8)
+        tdma = result.mean_undecoded("tdma", 8)
+        cdma = result.mean_undecoded("cdma", 8)
+        assert buzz == 0.0
+        assert cdma > tdma
+
+
+class TestFig12:
+    def test_rate_adapts_down(self):
+        result = fig12_challenging.run(
+            bands=((19, 26), (4, 12)), n_locations=2, n_traces=1
+        )
+        assert result.buzz_rate[0] > result.buzz_rate[1]
+        # Buzz delivers more than CDMA in the hard band.
+        assert result.buzz_decoded[1] > result.cdma_decoded[1]
+
+
+class TestFig13:
+    def test_energy_ordering_and_voltage_scaling(self):
+        result = fig13_energy.run(n_tags=4, n_locations=2, n_traces=1)
+        for v in result.voltages:
+            assert result.mean_energy_uj("cdma", v) > result.mean_energy_uj("tdma", v)
+        assert result.mean_energy_uj("buzz", 5.0) > result.mean_energy_uj("buzz", 3.0)
+
+
+class TestFig14:
+    def test_buzz_identification_speedup(self):
+        result = fig14_identification.run(tag_counts=(8, 16), n_locations=3)
+        assert result.speedup_over_fsa(16) > 3.0
+        assert result.buzz_ms[8] < result.buzz_ms[16]
+
+
+class TestHeadline:
+    def test_overall_gain(self):
+        result = headline.run(tag_counts=(8,), n_locations=2, n_traces=1)
+        assert result.overall_gain > 1.5
+        assert "overall" in headline.render(result)

@@ -1,0 +1,70 @@
+"""Tests for experiment helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.fig2_waveforms import count_levels
+from repro.experiments.fig13_energy import ook_switches
+from repro.experiments.toy_example import PATTERNS, collision_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (3, 4.0)])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.500" in out
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_alignment_widths(self):
+        out = format_table(["col"], [("longvalue",)])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+
+class TestCountLevels:
+    def test_single_level(self):
+        assert count_levels(np.full(500, 1.0) + 0.001 * np.random.default_rng(0).standard_normal(500)) == 1
+
+    def test_two_levels(self):
+        rng = np.random.default_rng(1)
+        data = np.concatenate([np.full(300, 1.0), np.full(300, 2.0)])
+        assert count_levels(data + 0.01 * rng.standard_normal(600)) == 2
+
+    def test_four_levels(self):
+        rng = np.random.default_rng(2)
+        data = np.concatenate([np.full(200, v) for v in (1.0, 1.3, 1.6, 1.9)])
+        assert count_levels(data + 0.01 * rng.standard_normal(800)) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            count_levels(np.array([]))
+
+
+class TestOokSwitches:
+    def test_all_zero_no_switches(self):
+        assert ook_switches(np.zeros(10, dtype=np.uint8)) == 0
+
+    def test_alternating_max_switches(self):
+        bits = np.array([1, 0, 1, 0, 1], dtype=np.uint8)
+        # transitions: 4, plus initial rise and final fall
+        assert ook_switches(bits) == 6
+
+    def test_single_one(self):
+        assert ook_switches(np.array([0, 1, 0], dtype=np.uint8)) == 2
+
+
+class TestToyTables:
+    def test_pattern_set_matches_table1(self):
+        assert PATTERNS == ((0, 1, 1), (1, 0, 0), (1, 0, 1), (1, 1, 1))
+
+    def test_collision_table_matches_table2_diagonal(self):
+        table = collision_table()
+        assert table[((0, 1, 1), (0, 1, 1))] == (0, 2, 2)
+        assert table[((1, 1, 1), (1, 1, 1))] == (2, 2, 2)
+
+    def test_collision_table_off_diagonal(self):
+        table = collision_table()
+        assert table[((0, 1, 1), (1, 0, 0))] == (1, 1, 1)
+        assert table[((1, 0, 1), (1, 1, 1))] == (2, 1, 2)

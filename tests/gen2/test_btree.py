@@ -1,0 +1,66 @@
+"""Tests for repro.gen2.btree — binary splitting tree anti-collision."""
+
+import numpy as np
+import pytest
+
+from repro.gen2.btree import BTreeConfig, run_btree_inventory
+from repro.gen2.fsa import FsaConfig, run_fsa_inventory
+
+
+class TestBTree:
+    def test_identifies_everyone(self):
+        rng = np.random.default_rng(0)
+        for k in (1, 4, 16, 40):
+            result = run_btree_inventory(BTreeConfig(n_tags=k), rng)
+            assert result.identified == k
+
+    def test_query_accounting(self):
+        rng = np.random.default_rng(1)
+        result = run_btree_inventory(BTreeConfig(n_tags=8), rng)
+        assert (
+            result.empty_queries + result.collision_queries + result.success_queries
+            == result.queries
+        )
+        assert result.success_queries == 8
+
+    def test_collision_bound(self):
+        """Tree splitting resolves K tags with O(K·log(space/K)) collisions."""
+        rng = np.random.default_rng(2)
+        result = run_btree_inventory(BTreeConfig(n_tags=16, id_bits=16), rng)
+        assert result.collision_queries < 16 * 16
+
+    def test_time_grows_with_k(self):
+        times = []
+        for k in (4, 16):
+            vals = [
+                run_btree_inventory(BTreeConfig(n_tags=k), np.random.default_rng(s)).total_time_s
+                for s in range(15)
+            ]
+            times.append(np.mean(vals))
+        assert times[1] > times[0]
+
+    def test_depth_bounded_by_id_bits(self):
+        rng = np.random.default_rng(3)
+        result = run_btree_inventory(BTreeConfig(n_tags=32, id_bits=12), rng)
+        assert result.max_depth <= 12
+
+    def test_slower_than_fsa_at_gen2_rates(self):
+        """Tree protocols pay one downlink command per node visit — at
+        Gen-2 command rates that loses to FSA (why the standard uses FSA)."""
+        fsa_times, tree_times = [], []
+        for s in range(15):
+            fsa_times.append(
+                run_fsa_inventory(FsaConfig(n_tags=16), np.random.default_rng(s)).total_time_s
+            )
+            tree_times.append(
+                run_btree_inventory(BTreeConfig(n_tags=16), np.random.default_rng(s)).total_time_s
+            )
+        assert np.mean(tree_times) > 0.8 * np.mean(fsa_times)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BTreeConfig(n_tags=0)
+
+    def test_space_too_small(self):
+        with pytest.raises(ValueError):
+            run_btree_inventory(BTreeConfig(n_tags=10, id_bits=3), np.random.default_rng(0))

@@ -1,0 +1,84 @@
+"""Tests for repro.gen2.fsa — the Framed Slotted ALOHA inventory."""
+
+import numpy as np
+import pytest
+
+from repro.gen2.fsa import FsaConfig, run_fsa_inventory
+
+
+class TestFsaInventory:
+    def test_identifies_everyone(self):
+        rng = np.random.default_rng(0)
+        for k in (1, 4, 16, 40):
+            result = run_fsa_inventory(FsaConfig(n_tags=k), rng)
+            assert result.identified == k
+
+    def test_time_grows_with_population(self):
+        means = []
+        for k in (4, 8, 16):
+            times = [
+                run_fsa_inventory(FsaConfig(n_tags=k), np.random.default_rng(s)).total_time_s
+                for s in range(30)
+            ]
+            means.append(np.mean(times))
+        assert means[0] < means[1] < means[2]
+
+    def test_slot_accounting_consistent(self):
+        rng = np.random.default_rng(1)
+        result = run_fsa_inventory(FsaConfig(n_tags=8), rng)
+        assert (
+            result.empty_slots + result.collision_slots + result.success_slots
+            == result.slots_used
+        )
+        assert result.success_slots == 8
+
+    def test_efficiency_below_aloha_bound(self):
+        """Slotted-ALOHA throughput cannot exceed 1/e on average."""
+        effs = [
+            run_fsa_inventory(FsaConfig(n_tags=16), np.random.default_rng(s)).efficiency
+            for s in range(40)
+        ]
+        assert np.mean(effs) < 0.45
+
+    def test_shorter_ids_save_time(self):
+        times_long, times_short = [], []
+        for s in range(40):
+            times_long.append(
+                run_fsa_inventory(
+                    FsaConfig(n_tags=8, id_bits=16), np.random.default_rng(s)
+                ).total_time_s
+            )
+            times_short.append(
+                run_fsa_inventory(
+                    FsaConfig(n_tags=8, id_bits=8), np.random.default_rng(s)
+                ).total_time_s
+            )
+        assert np.mean(times_short) < np.mean(times_long)
+
+    def test_shorter_acks_save_time(self):
+        times_default, times_short = [], []
+        for s in range(40):
+            times_default.append(
+                run_fsa_inventory(FsaConfig(n_tags=8), np.random.default_rng(s)).total_time_s
+            )
+            times_short.append(
+                run_fsa_inventory(
+                    FsaConfig(n_tags=8, ack_bits=10), np.random.default_rng(s)
+                ).total_time_s
+            )
+        assert np.mean(times_short) < np.mean(times_default)
+
+    def test_q_trace_recorded(self):
+        rng = np.random.default_rng(2)
+        result = run_fsa_inventory(FsaConfig(n_tags=4), rng)
+        assert len(result.q_trace) == result.slots_used + 1
+
+    def test_max_slots_cap(self):
+        rng = np.random.default_rng(3)
+        result = run_fsa_inventory(FsaConfig(n_tags=50, max_slots=10), rng)
+        assert result.slots_used <= 10
+        assert result.identified < 50
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FsaConfig(n_tags=0)

@@ -1,0 +1,70 @@
+"""Tests for repro.gen2.qalgorithm."""
+
+import pytest
+
+from repro.gen2.qalgorithm import QAlgorithm
+from repro.gen2.timing import SlotOutcome
+
+
+class TestQAlgorithm:
+    def test_defaults_match_standard(self):
+        q = QAlgorithm()
+        assert q.q == 4
+        assert q.frame_size == 16
+        assert q.c == pytest.approx(0.3)
+
+    def test_collision_increases(self):
+        q = QAlgorithm()
+        q.update(SlotOutcome.COLLISION)
+        assert q.q_fp == pytest.approx(4.3)
+
+    def test_empty_decreases(self):
+        q = QAlgorithm()
+        q.update(SlotOutcome.EMPTY)
+        assert q.q_fp == pytest.approx(3.7)
+
+    def test_success_holds(self):
+        q = QAlgorithm()
+        q.update(SlotOutcome.SUCCESS)
+        assert q.q_fp == pytest.approx(4.0)
+
+    def test_clamped_at_bounds(self):
+        q = QAlgorithm(initial_q=0.0)
+        for _ in range(10):
+            q.update(SlotOutcome.EMPTY)
+        assert q.q_fp == 0.0
+        q2 = QAlgorithm(initial_q=15.0)
+        for _ in range(10):
+            q2.update(SlotOutcome.COLLISION)
+        assert q2.q_fp == 15.0
+
+    def test_q_rounds(self):
+        q = QAlgorithm(initial_q=4.0)
+        q.update(SlotOutcome.COLLISION)  # 4.3
+        q.update(SlotOutcome.COLLISION)  # 4.6 → rounds to 5
+        assert q.q == 5
+
+    def test_reset(self):
+        q = QAlgorithm()
+        q.update(SlotOutcome.COLLISION)
+        q.reset()
+        assert q.q_fp == pytest.approx(4.0)
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(ValueError):
+            QAlgorithm(initial_q=16.0)
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            QAlgorithm(c=2.0)
+
+    def test_converges_toward_population(self):
+        """Alternating feedback drives Q toward balance: many collisions →
+        bigger frames; many empties → smaller frames."""
+        q = QAlgorithm(initial_q=4.0)
+        for _ in range(20):
+            q.update(SlotOutcome.COLLISION)
+        assert q.q > 4
+        for _ in range(40):
+            q.update(SlotOutcome.EMPTY)
+        assert q.q < 6

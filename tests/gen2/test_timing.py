@@ -1,0 +1,44 @@
+"""Tests for repro.gen2.timing."""
+
+import pytest
+
+from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming, SlotOutcome
+
+
+class TestLinkTiming:
+    def test_paper_rates(self):
+        assert GEN2_DEFAULT_TIMING.downlink_rate_bps == pytest.approx(27_000.0)
+        assert GEN2_DEFAULT_TIMING.uplink_rate_bps == pytest.approx(80_000.0)
+
+    def test_uplink_symbol_duration(self):
+        assert GEN2_DEFAULT_TIMING.uplink_symbol_s() == pytest.approx(12.5e-6)
+
+    def test_downlink_duration(self):
+        assert GEN2_DEFAULT_TIMING.downlink_s(27) == pytest.approx(1e-3)
+
+    def test_uplink_includes_preamble(self):
+        t = GEN2_DEFAULT_TIMING
+        assert t.uplink_s(16) == pytest.approx((16 + t.preamble_bits) / 80_000.0)
+
+    def test_slot_ordering(self):
+        """Empty slots must be the cheapest, successes the most expensive
+        (they carry the reply plus the ACK)."""
+        t = GEN2_DEFAULT_TIMING
+        empty = t.slot_duration_s(SlotOutcome.EMPTY, 16)
+        collision = t.slot_duration_s(SlotOutcome.COLLISION, 16)
+        success = t.slot_duration_s(SlotOutcome.SUCCESS, 16)
+        assert empty < collision < success
+
+    def test_shorter_ids_shorten_slots(self):
+        t = GEN2_DEFAULT_TIMING
+        assert t.slot_duration_s(SlotOutcome.SUCCESS, 8) < t.slot_duration_s(
+            SlotOutcome.SUCCESS, 16
+        )
+
+    def test_query_cost_positive(self):
+        assert GEN2_DEFAULT_TIMING.query_duration_s() > 0
+        assert GEN2_DEFAULT_TIMING.query_adjust_duration_s() > 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTiming(downlink_rate_bps=0.0)

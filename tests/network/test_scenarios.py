@@ -1,0 +1,62 @@
+"""Tests for repro.network.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.network.scenarios import (
+    CHALLENGING_SNR_BANDS,
+    PAPER_SNR_CALIBRATION_DB,
+    challenging_scenario,
+    default_uplink_scenario,
+    shopping_cart_scenario,
+)
+
+
+class TestDefaultScenario:
+    def test_population_size(self):
+        scenario = default_uplink_scenario(8)
+        pop = scenario.draw_population(np.random.default_rng(0))
+        assert len(pop) == 8
+
+    def test_message_length(self):
+        scenario = default_uplink_scenario(4, message_bits=32)
+        pop = scenario.draw_population(np.random.default_rng(1))
+        assert pop.tags[0].message.size == 37  # + CRC-5
+
+    def test_draws_differ_across_rng(self):
+        scenario = default_uplink_scenario(4)
+        a = scenario.draw_population(np.random.default_rng(2)).channels
+        b = scenario.draw_population(np.random.default_rng(3)).channels
+        assert not np.allclose(a, b)
+
+
+class TestChallengingScenario:
+    def test_bands_have_five_entries(self):
+        assert len(CHALLENGING_SNR_BANDS) == 5
+        assert CHALLENGING_SNR_BANDS[0] == (19, 26)
+        assert CHALLENGING_SNR_BANDS[-1] == (4, 12)
+
+    def test_snrs_respect_calibrated_band(self):
+        scenario = challenging_scenario((15, 22), n_tags=50)
+        pop = scenario.draw_population(np.random.default_rng(4))
+        snrs = pop.snrs_db()
+        lo = 15 - PAPER_SNR_CALIBRATION_DB
+        hi = 22 - PAPER_SNR_CALIBRATION_DB
+        assert snrs.min() >= lo - 0.5 and snrs.max() <= hi + 0.5
+
+    def test_harder_band_weaker_channels(self):
+        easy = challenging_scenario((19, 26), n_tags=40).draw_population(
+            np.random.default_rng(5)
+        )
+        hard = challenging_scenario((4, 12), n_tags=40).draw_population(
+            np.random.default_rng(5)
+        )
+        assert np.mean(np.abs(hard.channels)) < np.mean(np.abs(easy.channels))
+
+
+class TestShoppingCartScenario:
+    def test_defaults(self):
+        scenario = shopping_cart_scenario()
+        assert scenario.n_tags == 20
+        pop = scenario.draw_population(np.random.default_rng(6))
+        assert pop.tags[0].message.size == 101  # 96-bit payload + CRC-5

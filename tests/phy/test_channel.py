@@ -1,0 +1,112 @@
+"""Tests for repro.phy.channel."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import (
+    ChannelModel,
+    SingleTapChannel,
+    backscatter_path_gain,
+    channels_for_snr_band,
+    near_far_spread_db,
+)
+
+
+class TestPathGain:
+    def test_reference_distance_is_unity(self):
+        assert backscatter_path_gain(0.3, reference_m=0.3) == pytest.approx(1.0)
+
+    def test_inverse_square(self):
+        assert backscatter_path_gain(0.6, exponent=2.0, reference_m=0.3) == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self):
+        d = np.linspace(0.1, 3.0, 30)
+        g = backscatter_path_gain(d)
+        assert np.all(np.diff(g) < 0)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            backscatter_path_gain(0.0)
+
+
+class TestSingleTapChannel:
+    def test_magnitude_and_phase(self):
+        ch = SingleTapChannel(h=3.0 + 4.0j)
+        assert ch.magnitude == pytest.approx(5.0)
+        assert ch.phase == pytest.approx(np.arctan2(4, 3))
+
+    def test_snr(self):
+        ch = SingleTapChannel(h=1.0 + 0j)
+        assert ch.snr_db(0.1) == pytest.approx(20.0)
+
+    def test_apply_scales_bits(self):
+        ch = SingleTapChannel(h=2.0j)
+        out = ch.apply(np.array([0, 1, 1]))
+        assert np.allclose(out, [0, 2j, 2j])
+
+
+class TestNearFarSpread:
+    def test_equal_channels_zero(self):
+        assert near_far_spread_db([1 + 0j, 1j]) == pytest.approx(0.0)
+
+    def test_known_ratio(self):
+        assert near_far_spread_db([1.0, 10.0]) == pytest.approx(20.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            near_far_spread_db([])
+
+
+class TestChannelModel:
+    def test_sample_count_and_dtype(self):
+        model = ChannelModel()
+        h = model.sample(8, np.random.default_rng(0))
+        assert h.shape == (8,) and h.dtype == complex
+
+    def test_mean_snr_respected(self):
+        model = ChannelModel(mean_snr_db=20.0, near_far_db=0.0, rician_k_db=40.0, noise_std=0.1)
+        h = model.sample(2000, np.random.default_rng(1))
+        snrs = model.snrs_db(h)
+        assert abs(np.mean(snrs) - 20.0) < 0.5
+
+    def test_near_far_spread_grows(self):
+        rng = np.random.default_rng(2)
+        narrow = ChannelModel(near_far_db=0.1, rician_k_db=40.0)
+        wide = ChannelModel(near_far_db=24.0, rician_k_db=40.0)
+        sn = near_far_spread_db(narrow.sample(200, rng))
+        sw = near_far_spread_db(wide.sample(200, np.random.default_rng(2)))
+        assert sw > sn + 6.0
+
+    def test_snr_range_orders(self):
+        model = ChannelModel()
+        h = model.sample(16, np.random.default_rng(3))
+        lo, hi = model.snr_range_db(h)
+        assert lo <= hi
+
+    def test_sample_at_distances_attenuates(self):
+        model = ChannelModel(rician_k_db=40.0)
+        rng = np.random.default_rng(4)
+        h = model.sample_at_distances([0.3, 1.2], rng)
+        assert abs(h[0]) > abs(h[1])
+
+    def test_negative_near_far_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelModel(near_far_db=-1.0)
+
+
+class TestChannelsForSnrBand:
+    def test_snrs_inside_band(self):
+        rng = np.random.default_rng(5)
+        h = channels_for_snr_band(200, 5.0, 15.0, rng, noise_std=0.1)
+        snrs = 20 * np.log10(np.abs(h) / 0.1)
+        assert snrs.min() >= 4.9 and snrs.max() <= 15.1
+
+    def test_band_order_enforced(self):
+        with pytest.raises(ValueError):
+            channels_for_snr_band(4, 15.0, 5.0, np.random.default_rng(0))
+
+    def test_phases_spread(self):
+        rng = np.random.default_rng(6)
+        h = channels_for_snr_band(500, 10.0, 10.0, rng)
+        angles = np.angle(h)
+        assert angles.std() > 1.0  # roughly uniform on the circle

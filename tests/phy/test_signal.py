@@ -1,0 +1,94 @@
+"""Tests for repro.phy.signal."""
+
+import numpy as np
+import pytest
+
+from repro.phy.signal import (
+    CW_LEVEL,
+    collision_trace,
+    ook_waveform,
+    received_symbols,
+    slot_energies,
+    tag_baseband,
+)
+
+
+class TestTagBaseband:
+    def test_repeats_bits(self):
+        out = tag_baseband([1, 0], samples_per_bit=3)
+        assert out.tolist() == [1, 1, 1, 0, 0, 0]
+
+    def test_rejects_bad_sps(self):
+        with pytest.raises(ValueError):
+            tag_baseband([1], samples_per_bit=0)
+
+
+class TestOokWaveform:
+    def test_two_levels_noiseless(self):
+        wave = ook_waveform([0, 1, 0, 1], channel=0.2, samples_per_bit=4)
+        mags = np.round(np.abs(wave), 6)
+        assert len(set(mags.tolist())) == 2
+
+    def test_zero_bits_sit_at_cw(self):
+        wave = ook_waveform([0, 0], channel=0.2, samples_per_bit=2)
+        assert np.allclose(wave, CW_LEVEL)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            ook_waveform([1], channel=0.1, noise_std=0.1)
+
+
+class TestCollisionTrace:
+    def test_two_tags_four_levels(self):
+        rng = np.random.default_rng(0)
+        bits = np.array([[0, 0, 1, 1], [0, 1, 0, 1]], dtype=np.uint8)
+        trace = collision_trace(bits, [0.2, 0.09j], samples_per_bit=4)
+        mags = np.round(np.abs(trace), 6)
+        assert len(set(mags.tolist())) == 4
+
+    def test_superposition_linearity(self):
+        bits = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        h = [0.1, 0.05 + 0.02j]
+        combined = collision_trace(bits, h, samples_per_bit=2)
+        separate = (
+            tag_baseband(bits[0], 2) * h[0] + tag_baseband(bits[1], 2) * h[1] + CW_LEVEL
+        )
+        assert np.allclose(combined, separate)
+
+    def test_sample_offsets_shift(self):
+        # A relative offset between two tags changes the superposition;
+        # (a common offset alone is unobservable — the window follows it).
+        bits = np.array([[1, 0, 1, 0], [0, 1, 1, 0]], dtype=np.uint8)
+        h = [0.3, 0.2j]
+        base = collision_trace(bits, h, samples_per_bit=4)
+        shifted = collision_trace(bits, h, samples_per_bit=4, sample_offsets=[0, 2])
+        assert not np.allclose(base, shifted)
+
+    def test_channel_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            collision_trace(np.zeros((2, 4), dtype=np.uint8), [0.1], samples_per_bit=2)
+
+
+class TestReceivedSymbols:
+    def test_matrix_product(self):
+        tx = np.array([[1, 0], [1, 1], [0, 0]])
+        h = np.array([1.0, 1.0j])
+        y = received_symbols(tx, h)
+        assert np.allclose(y, [1.0, 1.0 + 1.0j, 0.0])
+
+    def test_noise_changes_output(self):
+        tx = np.eye(4)
+        h = np.ones(4)
+        clean = received_symbols(tx, h)
+        noisy = received_symbols(tx, h, noise_std=0.1, rng=np.random.default_rng(0))
+        assert not np.allclose(clean, noisy)
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            received_symbols(np.ones((2, 3)), np.ones(2))
+
+
+class TestSlotEnergies:
+    def test_energy_is_magnitude_squared(self):
+        y = np.array([3 + 4j, 0.0])
+        assert np.allclose(slot_energies(y), [25.0, 0.0])

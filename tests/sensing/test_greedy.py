@@ -1,0 +1,70 @@
+"""Tests for repro.sensing.greedy (OMP / CoSaMP / IHT)."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.greedy import cosamp, iht, omp
+from repro.sensing.matrices import bernoulli_matrix
+
+
+def _problem(rng, m=50, n=80, k=4):
+    a = bernoulli_matrix(m, n, 0.12, rng).astype(float)
+    z = np.zeros(n, dtype=complex)
+    support = np.sort(rng.choice(n, size=k, replace=False))
+    z[support] = (rng.standard_normal(k) + 1j * rng.standard_normal(k)) + 0.5
+    return a, z, support
+
+
+@pytest.mark.parametrize("solver", [omp, cosamp, iht])
+class TestGreedySolvers:
+    def test_noiseless_recovery(self, solver):
+        rng = np.random.default_rng(0)
+        a, z, support = _problem(rng)
+        estimate = solver(a, a @ z, sparsity=4)
+        assert set(np.flatnonzero(np.abs(estimate) > 0.1)) == set(support)
+        assert np.allclose(estimate[support], z[support], atol=1e-3)
+
+    def test_noisy_support_recovery(self, solver):
+        rng = np.random.default_rng(1)
+        a, z, support = _problem(rng)
+        y = a @ z + 0.02 * (rng.standard_normal(a.shape[0]) + 1j * rng.standard_normal(a.shape[0]))
+        estimate = solver(a, y, sparsity=4)
+        top = np.argsort(np.abs(estimate))[::-1][:4]
+        assert set(top) == set(support)
+
+    def test_sparsity_respected(self, solver):
+        rng = np.random.default_rng(2)
+        a, z, _ = _problem(rng)
+        estimate = solver(a, a @ z, sparsity=4)
+        assert np.count_nonzero(np.abs(estimate) > 1e-6) <= 8
+
+    def test_dimension_mismatch_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver(np.ones((3, 4)), np.ones(5), sparsity=1)
+
+    def test_invalid_sparsity_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver(np.ones((3, 4)), np.ones(3), sparsity=0)
+
+
+class TestOmpSpecifics:
+    def test_zero_measurement(self):
+        a = bernoulli_matrix(10, 20, 0.3, np.random.default_rng(3)).astype(float)
+        assert np.allclose(omp(a, np.zeros(10), sparsity=3), 0.0)
+
+    def test_handles_zero_columns(self):
+        a = np.zeros((10, 5))
+        a[:, 0] = 1.0
+        y = 2.0 * np.ones(10)
+        estimate = omp(a, y, sparsity=2)
+        assert estimate[0] == pytest.approx(2.0)
+        assert np.allclose(estimate[1:], 0.0)
+
+
+class TestIhtSpecifics:
+    def test_custom_step_converges(self):
+        rng = np.random.default_rng(4)
+        a, z, support = _problem(rng)
+        estimate = iht(a, a @ z, sparsity=4, step=0.01, max_iter=500)
+        top = np.argsort(np.abs(estimate))[::-1][:4]
+        assert set(top) == set(support)

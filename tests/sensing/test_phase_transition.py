@@ -1,0 +1,34 @@
+"""Tests for repro.sensing.phase_transition."""
+
+import pytest
+
+from repro.sensing.phase_transition import success_probability, sweep_measurements
+
+
+class TestSuccessProbability:
+    def test_ample_measurements_succeed(self):
+        point = success_probability(60, 4, 60, trials=8, method="omp")
+        assert point.success_rate >= 0.8
+
+    def test_starved_measurements_fail(self):
+        point = success_probability(5, 4, 60, trials=8, method="omp")
+        assert point.success_rate <= 0.5
+
+    def test_metadata(self):
+        point = success_probability(20, 3, 40, trials=4, method="omp")
+        assert point.n_measurements == 20
+        assert point.trials == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            success_probability(0, 2, 10)
+
+
+class TestSweep:
+    def test_monotone_trend(self):
+        """Recovery probability grows with the measurement budget — the
+        phase transition the K·log(a) slot rule rides on."""
+        points = sweep_measurements(4, 60, (8, 24, 60), trials=8, method="omp")
+        rates = [p.success_rate for p in points]
+        assert rates[-1] >= rates[0]
+        assert rates[-1] >= 0.8

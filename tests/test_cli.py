@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import _EXPERIMENTS, main
+
+
+class TestCli:
+    def test_quick_single_experiment(self, capsys):
+        assert main(["--quick", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "toy" in out
+        assert "option 2" in out
+
+    def test_quick_multiple(self, capsys):
+        assert main(["--quick", "fig2", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "Fig. 8" in out
+
+    def test_registry_covers_all_figures(self):
+        expected = {
+            "toy", "fig2", "fig3", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "headline",
+        }
+        assert set(_EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,62 @@
+"""Tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import (
+    db_to_linear,
+    db_to_power,
+    khz,
+    linear_to_db,
+    mhz,
+    ms,
+    power_to_db,
+    us,
+)
+
+
+class TestTimeUnits:
+    def test_us(self):
+        assert us(1.0) == pytest.approx(1e-6)
+
+    def test_ms(self):
+        assert ms(2.5) == pytest.approx(2.5e-3)
+
+    def test_khz(self):
+        assert khz(80) == pytest.approx(80_000.0)
+
+    def test_mhz(self):
+        assert mhz(4) == pytest.approx(4e6)
+
+
+class TestDbConversions:
+    def test_power_identities(self):
+        assert power_to_db(1.0) == pytest.approx(0.0)
+        assert power_to_db(10.0) == pytest.approx(10.0)
+        assert power_to_db(100.0) == pytest.approx(20.0)
+
+    def test_amplitude_identities(self):
+        assert linear_to_db(10.0) == pytest.approx(20.0)
+        assert db_to_linear(20.0) == pytest.approx(10.0)
+
+    def test_power_amplitude_consistency(self):
+        # An amplitude ratio r is a power ratio r², so dB values must match.
+        r = 3.7
+        assert linear_to_db(r) == pytest.approx(power_to_db(r**2))
+
+    @given(st.floats(min_value=-60, max_value=60))
+    def test_roundtrip_power(self, db):
+        assert float(power_to_db(db_to_power(db))) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-60, max_value=60))
+    def test_roundtrip_amplitude(self, db):
+        assert float(linear_to_db(db_to_linear(db))) == pytest.approx(db, abs=1e-9)
+
+    def test_arrays_supported(self):
+        out = db_to_power(np.array([0.0, 10.0]))
+        assert np.allclose(out, [1.0, 10.0])
+
+    def test_zero_ratio_clamped(self):
+        # Should not raise or return -inf.
+        assert np.isfinite(power_to_db(0.0))

@@ -1,0 +1,69 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_probability,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ensure_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_positive(-1.0, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            ensure_positive("1", "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            ensure_positive(-1, "myarg")
+
+
+class TestEnsurePositiveInt:
+    def test_accepts(self):
+        assert ensure_positive_int(3, "n") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ensure_positive_int(0, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            ensure_positive_int(1.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_positive_int(True, "n")
+
+
+class TestEnsureProbability:
+    def test_bounds_inclusive(self):
+        assert ensure_probability(0.0, "p") == 0.0
+        assert ensure_probability(1.0, "p") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            ensure_probability(-0.01, "p")
+
+
+class TestEnsureInRange:
+    def test_accepts_inside(self):
+        assert ensure_in_range(5.0, "q", 0, 15) == 5.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(16.0, "q", 0, 15)
