@@ -1,0 +1,80 @@
+"""Benchmarks for the unified scheme engine.
+
+Two hot paths the engine refactor targets:
+
+* D-matrix regeneration — the vectorized ``slot_decision_matrix`` versus
+  the scalar per-``(seed, slot)`` Python loop it replaced (acceptance
+  floor: ≥ 10×);
+* campaign throughput — the same grid through the serial and process-pool
+  executors, which must agree bit for bit.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.coding.prng import slot_decision, slot_decision_matrix
+from repro.engine import CampaignSpec, run_campaign
+from repro.network.scenarios import default_uplink_scenario
+
+_SEEDS = list(range(1, 65))  # K = 64 nodes
+_SLOTS = range(256)  # L = 256 collision slots
+_DENSITY = 0.3
+_SALT = 404
+
+
+def _scalar_matrix():
+    return np.array(
+        [[slot_decision(s, j, _DENSITY, _SALT) for s in _SEEDS] for j in _SLOTS],
+        dtype=np.uint8,
+    )
+
+
+def test_bench_d_regeneration_vectorized(benchmark):
+    """Vectorized D regeneration must beat the scalar loop ≥ 10×."""
+    result = benchmark(lambda: slot_decision_matrix(_SEEDS, _SLOTS, _DENSITY, _SALT))
+    assert result.shape == (256, 64)
+    assert np.array_equal(result, _scalar_matrix())
+
+    # Median-of-5 timings keep the ratio stable on noisy CI machines.
+    def _median_time(fn, rounds=5):
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        return float(np.median(samples))
+
+    scalar_s = _median_time(_scalar_matrix)
+    vector_s = _median_time(lambda: slot_decision_matrix(_SEEDS, _SLOTS, _DENSITY, _SALT))
+    speedup = scalar_s / vector_s
+    print(f"\nD regeneration: scalar {scalar_s * 1e3:.2f} ms, "
+          f"vectorized {vector_s * 1e3:.2f} ms, speedup {speedup:.0f}x")
+    assert speedup >= 10.0
+
+
+def _spec():
+    return CampaignSpec(
+        scenario=default_uplink_scenario(8),
+        root_seed=21,
+        n_locations=4,
+        n_traces=2,
+    )
+
+
+def test_bench_campaign_serial(benchmark):
+    result = run_once(benchmark, lambda: run_campaign(_spec(), jobs=1))
+    assert len(result.runs) == 4 * 2 * 3
+
+
+def test_bench_campaign_parallel(benchmark):
+    """Process-pool campaign: same records as serial, measured end to end."""
+    result = run_once(benchmark, lambda: run_campaign(_spec(), jobs=4))
+    serial = run_campaign(_spec(), jobs=1)
+    assert len(result.runs) == len(serial.runs)
+    for parallel_run, serial_run in zip(result.runs, serial.runs):
+        assert parallel_run.duration_s == serial_run.duration_s
+        assert parallel_run.message_loss == serial_run.message_loss
+        assert parallel_run.bit_errors == serial_run.bit_errors
+        assert np.array_equal(parallel_run.transmissions, serial_run.transmissions)

@@ -2,9 +2,18 @@
 
 Usage::
 
-    python -m repro                 # run every experiment (full size)
-    python -m repro fig10 fig14     # run a subset
-    python -m repro --quick         # reduced trial counts (~2 minutes)
+    python -m repro                          # run every experiment (full size)
+    python -m repro fig10 fig14              # run a subset
+    python -m repro --quick                  # reduced trial counts (~2 minutes)
+    python -m repro fig10 --jobs 8           # campaign grid on 8 processes
+    python -m repro fig11 --schemes buzz,tdma
+    python -m repro fig10 --scenario cart    # any figure on any location class
+
+``--jobs`` applies to every campaign-backed experiment (fig10–fig13 and
+headline); ``--schemes`` and ``--scenario`` to the per-scheme figures
+(fig10, fig11, fig13 — fig12's band sweep and headline's composition fix
+their own grids). Experiments a flag does not apply to ignore it with a
+note. Parallel runs are bit-identical to serial ones for the same seed.
 """
 
 from __future__ import annotations
@@ -27,21 +36,57 @@ from repro.experiments import (
     headline,
     toy_example,
 )
+from repro.engine import available_schemes
+from repro.network.scenarios import SCENARIO_NAMES
 
+#: name → (module, full-size kwargs, --quick kwargs, supported CLI overrides)
 _EXPERIMENTS = {
-    "toy": (toy_example, {}, {}),
-    "fig2": (fig2_waveforms, {}, {}),
-    "fig3": (fig3_constellation, {}, {"n_symbols": 500}),
-    "fig7": (fig7_sync_offset, {}, {"trials": 20}),
-    "fig8": (fig8_clock_drift, {}, {}),
-    "fig9": (fig9_decoding_progress, {}, {}),
-    "fig10": (fig10_transfer_time, {}, {"n_locations": 3, "n_traces": 1}),
-    "fig11": (fig11_message_errors, {}, {"n_locations": 3, "n_traces": 1}),
-    "fig12": (fig12_challenging, {}, {"n_locations": 3, "n_traces": 1}),
-    "fig13": (fig13_energy, {}, {"n_locations": 3, "n_traces": 1}),
-    "fig14": (fig14_identification, {}, {"n_locations": 4}),
-    "headline": (headline, {}, {"n_locations": 3, "n_traces": 1}),
+    "toy": (toy_example, {}, {}, set()),
+    "fig2": (fig2_waveforms, {}, {}, set()),
+    "fig3": (fig3_constellation, {}, {"n_symbols": 500}, set()),
+    "fig7": (fig7_sync_offset, {}, {"trials": 20}, set()),
+    "fig8": (fig8_clock_drift, {}, {}, set()),
+    "fig9": (fig9_decoding_progress, {}, {}, set()),
+    "fig10": (
+        fig10_transfer_time,
+        {},
+        {"n_locations": 3, "n_traces": 1},
+        {"jobs", "schemes", "scenario"},
+    ),
+    "fig11": (
+        fig11_message_errors,
+        {},
+        {"n_locations": 3, "n_traces": 1},
+        {"jobs", "schemes", "scenario"},
+    ),
+    "fig12": (
+        fig12_challenging,
+        {},
+        {"n_locations": 3, "n_traces": 1},
+        {"jobs"},
+    ),
+    "fig13": (
+        fig13_energy,
+        {},
+        {"n_locations": 3, "n_traces": 1},
+        {"jobs", "schemes", "scenario"},
+    ),
+    "fig14": (fig14_identification, {}, {"n_locations": 4}, set()),
+    "headline": (headline, {}, {"n_locations": 3, "n_traces": 1}, {"jobs"}),
 }
+
+
+def _parse_schemes(value: str):
+    schemes = tuple(s.strip() for s in value.split(",") if s.strip())
+    if not schemes:
+        raise argparse.ArgumentTypeError("need at least one scheme")
+    known = available_schemes()
+    for s in schemes:
+        if s not in known:
+            raise argparse.ArgumentTypeError(
+                f"unknown scheme {s!r}; registered: {', '.join(known)}"
+            )
+    return schemes
 
 
 def main(argv=None) -> int:
@@ -58,14 +103,50 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced trial counts for a fast pass"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaign worker processes (1 = serial; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--schemes",
+        type=_parse_schemes,
+        default=None,
+        metavar="A,B",
+        help="comma-separated scheme subset for campaign figures "
+        f"(registered: {', '.join(available_schemes())})",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=SCENARIO_NAMES,
+        default=None,
+        help="location class override for campaign figures",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    overrides = {}
+    if args.jobs != 1:
+        overrides["jobs"] = args.jobs
+    if args.schemes is not None:
+        overrides["schemes"] = args.schemes
+    if args.scenario is not None:
+        overrides["scenario"] = args.scenario
 
     names = args.experiments or list(_EXPERIMENTS)
     for name in names:
-        module, full_kwargs, quick_kwargs = _EXPERIMENTS[name]
-        kwargs = quick_kwargs if args.quick else full_kwargs
+        module, full_kwargs, quick_kwargs, supported = _EXPERIMENTS[name]
+        kwargs = dict(quick_kwargs if args.quick else full_kwargs)
+        applied = {k: v for k, v in overrides.items() if k in supported}
+        ignored = sorted(set(overrides) - set(applied))
+        kwargs.update(applied)
         start = time.time()
         print(f"===== {name} =====")
+        if ignored:
+            print(f"(note: --{', --'.join(ignored)} not applicable to {name})")
         print(module.render(module.run(**kwargs)))
         print(f"[{time.time() - start:.1f}s]\n")
     return 0

@@ -96,10 +96,15 @@ class BitFlipDecoder:
     def _all_gains(
         self, residual: np.ndarray, bits: np.ndarray, frozen: np.ndarray
     ) -> np.ndarray:
-        delta = self.h * (1.0 - 2.0 * bits.astype(float))
-        corr = self.d.T.astype(float) @ np.conj(residual)
-        gains = 2.0 * np.real(delta * corr) - self._weights * np.abs(delta) ** 2
-        gains[frozen] = _NEG_INF
+        # Frozen columns can never be flipped, so their correlations are
+        # skipped outright rather than computed and overwritten with -inf.
+        gains = np.full(self.k, _NEG_INF)
+        free = np.flatnonzero(~frozen)
+        if free.size == 0:
+            return gains
+        delta = self.h[free] * (1.0 - 2.0 * bits[free].astype(float))
+        corr = self.d[:, free].T.astype(float) @ np.conj(residual)
+        gains[free] = 2.0 * np.real(delta * corr) - self._weights[free] * np.abs(delta) ** 2
         return gains
 
     def _update_gains(
@@ -110,7 +115,8 @@ class BitFlipDecoder:
         bits: np.ndarray,
         frozen: np.ndarray,
     ) -> None:
-        """Recompute gains only for the affected tags (paper's locality)."""
+        """Recompute gains only for the affected, unfrozen tags (locality)."""
+        affected = affected[~frozen[affected]]
         if affected.size == 0:
             return
         delta = self.h[affected] * (1.0 - 2.0 * bits[affected].astype(float))
@@ -118,7 +124,6 @@ class BitFlipDecoder:
         gains[affected] = (
             2.0 * np.real(delta * corr) - self._weights[affected] * np.abs(delta) ** 2
         )
-        gains[frozen] = _NEG_INF
 
     def _best_pair_flip(
         self, residual: np.ndarray, bits: np.ndarray, frozen: np.ndarray

@@ -12,6 +12,7 @@ values as defaults:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.utils.validation import (
@@ -123,8 +124,6 @@ class BuzzConfig:
         unknown, distinct candidates' pseudorandom pattern columns collide
         with non-negligible probability and recovery becomes ambiguous.
         """
-        import math
-
         a = self.a(k_hat)
         k = max(1, k_hat)
         base = k * math.log2(max(2, a))
@@ -135,7 +134,7 @@ class BuzzConfig:
         k = max(1, k_hat)
         return float(min(self.density_max, max(self.density_min, self.density_colliders / k)))
 
-    def max_data_slots(self, k: int, n_positions: int) -> int:
+    def max_data_slots(self, k: int) -> int:
         """Loss-declaration bound on collected collision slots."""
         bound = int(self.max_data_slots_factor * max(1, k))
         return max(bound, 4)

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.coding.crc import CRC5_GEN2, CrcSpec, crc_check
-from repro.coding.prng import slot_decision
+from repro.coding.prng import slot_decision_matrix
 from repro.core.bp_decoder import BitFlipDecoder
 from repro.core.config import BuzzConfig
 from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
@@ -119,6 +119,8 @@ class RatelessDecoder:
 
         self._rows: List[np.ndarray] = []  # regenerated D rows
         self._symbols: List[np.ndarray] = []  # received (P,) rows of Y
+        self._row_block = np.zeros((0, self.k), dtype=np.uint8)  # D-row cache
+        self._row_block_start = 0
         self._estimates = (self.rng.random((self.k, self.p)) < 0.5).astype(np.uint8)
         self._decoded = np.zeros(self.k, dtype=bool)
         self.progress: List[DecodeProgress] = []
@@ -144,10 +146,16 @@ class RatelessDecoder:
 
     def expected_row(self, slot: int) -> np.ndarray:
         """Regenerate the D row for ``slot`` from the seeds (Eq. 7's D)."""
-        return np.array(
-            [slot_decision(seed, slot, self.density, salt=SALT_DATA) for seed in self.seeds],
-            dtype=np.uint8,
-        )
+        return self.expected_rows([slot])[0]
+
+    def expected_rows(self, slots: Sequence[int]) -> np.ndarray:
+        """Regenerate a ``(len(slots), K)`` block of D rows in one pass.
+
+        One vectorized :func:`~repro.coding.prng.slot_decision_matrix` call
+        replaces ``len(slots) × K`` scalar PRNG evaluations — the reader's
+        D-regeneration hot path.
+        """
+        return slot_decision_matrix(self.seeds, slots, self.density, salt=SALT_DATA)
 
     # ---- decoding --------------------------------------------------------------
     def add_slot(self, symbols: np.ndarray, slot: Optional[int] = None) -> None:
@@ -160,8 +168,31 @@ class RatelessDecoder:
         if symbols.size != self.p:
             raise ValueError(f"expected {self.p} symbols per slot, got {symbols.size}")
         index = self.slots_collected if slot is None else int(slot)
-        self._rows.append(self.expected_row(index))
+        self._rows.append(self._regenerated_row(index))
         self._symbols.append(symbols)
+
+    #: Slots regenerated per batched D-row refill.
+    _ROW_BLOCK = 64
+
+    def _regenerated_row(self, index: int) -> np.ndarray:
+        """D row for ``index``, served from a block-regenerated cache."""
+        offset = index - self._row_block_start
+        if not 0 <= offset < self._row_block.shape[0]:
+            self.prime_row_cache(
+                index, self.expected_rows(range(index, index + self._ROW_BLOCK))
+            )
+            offset = 0
+        return self._row_block[offset].copy()
+
+    def prime_row_cache(self, start: int, rows: np.ndarray) -> None:
+        """Install a pre-regenerated block of D rows for ``start, start+1, …``.
+
+        Lets a driver that already computed (and verified) a block via
+        :meth:`expected_rows` hand it over instead of having
+        :meth:`add_slot` regenerate the same rows again.
+        """
+        self._row_block_start = int(start)
+        self._row_block = np.ascontiguousarray(rows, dtype=np.uint8)
 
     def try_decode(self) -> DecodeProgress:
         """Run BP across all positions with everything collected so far.
@@ -413,10 +444,23 @@ def run_rateless_uplink(
     )
     k_for_density = k_hat if k_hat is not None else k
     density = config.data_density(k_for_density)
-    limit = max_slots if max_slots is not None else config.max_data_slots(k, n_positions)
+    limit = max_slots if max_slots is not None else config.max_data_slots(k)
+
+    # Batched tag-side transmit draws: each tag's coin for a block of slots
+    # is drawn in one vectorized pass — the same pure function of
+    # ``(temp_id, slot)`` that ``BackscatterTag.data_transmits`` evaluates
+    # (which also requires a temporary id, hence the same precondition).
+    # Tags that deviate from their deterministic schedule (silencing,
+    # failure injection) are modelled by the driver, not here — see
+    # :mod:`repro.core.silencing` and the integration tests.
+    for t in tags:
+        if t.temp_id is None:
+            raise RuntimeError("tag has no temporary id yet")
+    tag_seeds = [t.temp_id for t in tags]
+    block_size = min(limit, RatelessDecoder._ROW_BLOCK)
 
     decoder = RatelessDecoder(
-        seeds=[t.temp_id if t.temp_id is not None else t.global_id for t in tags],
+        seeds=tag_seeds,
         channels=h_est,
         n_positions=n_positions,
         density=density,
@@ -427,13 +471,28 @@ def run_rateless_uplink(
     )
 
     transmissions = np.zeros(k, dtype=int)
+    tag_rows = np.zeros((0, k), dtype=np.uint8)
+    block_start = 0
     slot = 0
     while slot < limit:
-        row = np.array(
-            [1 if t.data_transmits(slot, density) else 0 for t in tags], dtype=np.uint8
-        )
-        # Tag-side and reader-side views of D must agree bit-for-bit.
-        assert np.array_equal(row, decoder.expected_row(slot)), "D regeneration diverged"
+        offset = slot - block_start
+        if not offset < tag_rows.shape[0]:
+            block_start, offset = slot, 0
+            block = range(slot, min(slot + block_size, limit))
+            tag_rows = slot_decision_matrix(tag_seeds, block, density, salt=SALT_DATA)
+            # Tag-side and reader-side views of D must agree bit-for-bit —
+            # an explicit check (unlike an ``assert``, it survives
+            # ``python -O``) over the whole batch at once.
+            reader_rows = decoder.expected_rows(block)
+            if not np.array_equal(tag_rows, reader_rows):
+                raise RuntimeError(
+                    "D regeneration diverged: reader-side seeds or density "
+                    "do not reproduce the tags' transmit schedule"
+                )
+            # The verified block doubles as the decoder's row cache, so
+            # add_slot below does not regenerate it a third time.
+            decoder.prime_row_cache(slot, reader_rows)
+        row = tag_rows[offset]
         transmissions += row
         # Per position p the reflectors contribute h_i * B[i, p].
         tx_per_position = (messages * row[:, None]).T  # (P, K)

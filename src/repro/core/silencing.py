@@ -104,11 +104,17 @@ def run_rateless_with_silencing(
     channels = np.array([t.channel for t in tags], dtype=complex)
     k_for_density = k_hat if k_hat is not None else k
     density = config.data_density(k_for_density)
-    limit = max_slots if max_slots is not None else config.max_data_slots(k, n_positions)
+    limit = max_slots if max_slots is not None else config.max_data_slots(k)
     space = id_space if id_space is not None else 10 * k * k
 
+    # Same precondition as the plain rateless driver: the data-phase
+    # schedule (and hence the reader's D) is keyed by temporary ids.
+    for t in tags:
+        if t.temp_id is None:
+            raise RuntimeError("tag has no temporary id yet")
+
     decoder = RatelessDecoder(
-        seeds=[t.temp_id if t.temp_id is not None else t.global_id for t in tags],
+        seeds=[t.temp_id for t in tags],
         channels=channels,
         n_positions=n_positions,
         density=density,

@@ -1,0 +1,55 @@
+"""Unified scheme engine: one interface, one grid executor.
+
+``repro.engine`` decouples *what* a campaign compares from *how* it runs:
+
+* :mod:`repro.engine.schemes` — the :class:`~repro.engine.schemes.
+  UplinkScheme` protocol, the :class:`~repro.engine.schemes.SchemeResult`
+  record, and a registry holding the paper's three schemes (``buzz``,
+  ``tdma``, ``cdma``);
+* :mod:`repro.engine.campaign` — the declarative
+  :class:`~repro.engine.campaign.CampaignSpec` grid and its deterministic
+  cell evaluator;
+* :mod:`repro.engine.executors` — serial and process-pool backends, both
+  bit-identical for the same root seed.
+
+The classic entry point :func:`repro.network.campaign.run_campaign` is a
+thin wrapper over this package.
+"""
+
+from repro.engine.campaign import (
+    SCHEMES,
+    CampaignCell,
+    CampaignResult,
+    CampaignSpec,
+    SchemeRun,
+    run_campaign,
+    run_cell,
+)
+from repro.engine.schemes import (
+    CdmaScheme,
+    RatelessScheme,
+    SchemeResult,
+    TdmaScheme,
+    UplinkScheme,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+
+__all__ = [
+    "SCHEMES",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "CdmaScheme",
+    "RatelessScheme",
+    "SchemeResult",
+    "SchemeRun",
+    "TdmaScheme",
+    "UplinkScheme",
+    "available_schemes",
+    "get_scheme",
+    "register_scheme",
+    "run_campaign",
+    "run_cell",
+]

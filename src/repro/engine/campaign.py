@@ -1,0 +1,252 @@
+"""Declarative campaigns over the unified scheme engine.
+
+The paper's methodology (§9) is a grid: locations × traces × schemes, every
+scheme re-run on the same channel realisation. :class:`CampaignSpec`
+declares that grid (plus an optional config-sweep axis); the executor
+evaluates its cells through the :mod:`repro.engine.schemes` registry, either
+serially or on a process pool.
+
+**Determinism.** Every cell re-derives all of its randomness from
+``(root_seed, keys)`` through :class:`~repro.utils.rng.SeedSequenceFactory`:
+the location's population from ``("location", i)`` and the run generator
+from ``("trace", i, j, scheme)``. No generator state crosses cell
+boundaries, so a cell computes the same bits whether it runs in-process,
+in a forked worker, or in a freshly spawned interpreter — serial and
+parallel campaigns are bit-identical for the same root seed, and both
+reproduce the pre-engine serial loop exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import BuzzConfig
+from repro.engine.executors import run_process_pool, run_serial
+from repro.engine.schemes import (
+    SchemeResult,
+    UplinkScheme,
+    available_schemes,
+    get_scheme,
+)
+from repro.nodes.reader import ReaderFrontEnd
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.validation import ensure_positive_int
+
+if TYPE_CHECKING:  # imported lazily to avoid a repro.network import cycle
+    from repro.network.scenarios import Scenario
+
+__all__ = [
+    "SCHEMES",
+    "CampaignCell",
+    "CampaignSpec",
+    "SchemeRun",
+    "CampaignResult",
+    "run_campaign",
+    "run_cell",
+]
+
+#: The paper's three-scheme comparison — the default grid axis.
+SCHEMES = ("buzz", "tdma", "cdma")
+
+
+@dataclass(frozen=True)
+class SchemeRun:
+    """One scheme's outcome on one grid cell."""
+
+    scheme: str
+    location: int
+    trace: int
+    duration_s: float
+    message_loss: int
+    n_tags: int
+    bits_per_symbol: float
+    slots_used: int
+    transmissions: np.ndarray
+    bit_errors: int
+    variant: int = 0
+
+    @classmethod
+    def from_result(cls, result: SchemeResult, cell: "CampaignCell") -> "SchemeRun":
+        """Attach a cell's grid coordinates to its scheme result."""
+        return cls(
+            scheme=result.scheme,
+            location=cell.location,
+            trace=cell.trace,
+            duration_s=result.duration_s,
+            message_loss=result.message_loss,
+            n_tags=result.n_tags,
+            bits_per_symbol=result.bits_per_symbol,
+            slots_used=result.slots_used,
+            transmissions=result.transmissions,
+            bit_errors=result.bit_errors,
+            variant=cell.variant,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Grid coordinates of one independent unit of campaign work."""
+
+    location: int
+    trace: int
+    scheme: str
+    variant: int = 0
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a campaign grid.
+
+    Attributes
+    ----------
+    scenario:
+        Deployment class locations are drawn from.
+    root_seed:
+        Root of every derived stream — the campaign's only entropy input.
+    n_locations / n_traces:
+        Grid extent (paper: 10 × 5).
+    schemes:
+        Registry names to run back-to-back on each trace.
+    configs:
+        Config-sweep axis: one entry runs the classic grid, several entries
+        add an inner variant axis (e.g. density or decode-cadence sweeps).
+    max_slots:
+        Optional abort bound forwarded to slot-based schemes.
+    """
+
+    scenario: "Scenario"
+    root_seed: int = 0
+    n_locations: int = 10
+    n_traces: int = 5
+    schemes: Tuple[str, ...] = SCHEMES
+    configs: Tuple[BuzzConfig, ...] = field(default_factory=lambda: (BuzzConfig(),))
+    max_slots: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.n_locations, "n_locations")
+        ensure_positive_int(self.n_traces, "n_traces")
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if not self.schemes:
+            raise ValueError("spec needs at least one scheme")
+        if not self.configs:
+            raise ValueError("spec needs at least one config")
+        for scheme in self.schemes:
+            get_scheme(scheme)  # raises ValueError on unknown names
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_locations * self.n_traces * len(self.schemes) * len(self.configs)
+
+    def cells(self) -> Iterator[CampaignCell]:
+        """Enumerate the grid in the canonical (pre-engine) record order."""
+        for location in range(self.n_locations):
+            for trace in range(self.n_traces):
+                for scheme in self.schemes:
+                    for variant in range(len(self.configs)):
+                        yield CampaignCell(location, trace, scheme, variant)
+
+
+@dataclass
+class CampaignResult:
+    """All runs of a campaign, indexable by scheme."""
+
+    scenario_name: str
+    runs: List[SchemeRun] = field(default_factory=list)
+
+    def by_scheme(self, scheme: str) -> List[SchemeRun]:
+        # Accept names present in this result's own data as well as the
+        # registry — the result must stay readable in a process (or after
+        # unpickling) whose registry differs from the one that ran it.
+        if scheme not in available_schemes() and all(
+            r.scheme != scheme for r in self.runs
+        ):
+            raise ValueError(f"unknown scheme {scheme!r}")
+        return [r for r in self.runs if r.scheme == scheme]
+
+    def mean_duration_s(self, scheme: str) -> float:
+        runs = self.by_scheme(scheme)
+        return float(np.mean([r.duration_s for r in runs]))
+
+    def total_loss(self, scheme: str) -> int:
+        return int(sum(r.message_loss for r in self.by_scheme(scheme)))
+
+    def mean_loss_per_run(self, scheme: str) -> float:
+        runs = self.by_scheme(scheme)
+        return float(np.mean([r.message_loss for r in runs]))
+
+    def median_loss_fraction(self, scheme: str) -> float:
+        runs = self.by_scheme(scheme)
+        return float(np.median([r.message_loss / r.n_tags for r in runs]))
+
+    def mean_rate(self, scheme: str) -> float:
+        runs = self.by_scheme(scheme)
+        return float(np.mean([r.bits_per_symbol for r in runs]))
+
+
+def _cell_rng_keys(spec: CampaignSpec, cell: CampaignCell) -> tuple:
+    """Per-cell stream keys; the single-config path keeps the pre-engine
+    derivation so existing root seeds reproduce their published numbers."""
+    if len(spec.configs) == 1:
+        return ("trace", cell.location, cell.trace, cell.scheme)
+    return ("trace", cell.location, cell.trace, cell.scheme, cell.variant)
+
+
+def run_cell(
+    spec: CampaignSpec, cell: CampaignCell, scheme: Optional[UplinkScheme] = None
+) -> SchemeRun:
+    """Evaluate one grid cell from scratch — the unit both executors run.
+
+    The population is re-derived rather than shared: the same
+    ``("location", i)`` stream always regenerates the same channels,
+    messages and ids, so re-drawing it per cell costs microseconds and buys
+    process independence. ``scheme`` lets the caller pass the scheme object
+    by value (the process pool does, so user-registered schemes work in
+    spawned workers whose registries only hold the built-ins); by default
+    it is looked up in this process's registry.
+    """
+    seeds = SeedSequenceFactory(spec.root_seed)
+    population = spec.scenario.draw_population(seeds.stream("location", cell.location))
+    front_end = ReaderFrontEnd(noise_std=population.noise_std)
+    run_rng = seeds.stream(*_cell_rng_keys(spec, cell))
+    scheme_obj = scheme if scheme is not None else get_scheme(cell.scheme)
+    result = scheme_obj.run(
+        population,
+        front_end,
+        run_rng,
+        config=spec.configs[cell.variant],
+        max_slots=spec.max_slots,
+    )
+    return SchemeRun.from_result(result, cell)
+
+
+def _run_cell_with_schemes(spec: CampaignSpec, schemes: dict, cell: CampaignCell) -> SchemeRun:
+    """Pool task: cells carry their scheme objects instead of registry names."""
+    return run_cell(spec, cell, scheme=schemes[cell.scheme])
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+) -> CampaignResult:
+    """Execute a campaign spec and collect its records in grid order.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` fans the cells out over a
+    process pool. Both orderings and all record contents are bit-identical
+    for the same spec (see module docstring).
+    """
+    cells = list(spec.cells())
+    # Resolve the schemes in *this* process and ship the objects with the
+    # task — a spawned worker's registry only holds the built-ins.
+    schemes = {name: get_scheme(name) for name in spec.schemes}
+    task = partial(_run_cell_with_schemes, spec, schemes)
+    if jobs == 1:
+        runs = run_serial(task, cells)
+    else:
+        runs = run_process_pool(task, cells, jobs=jobs, mp_context=mp_context)
+    return CampaignResult(scenario_name=spec.scenario.name, runs=runs)

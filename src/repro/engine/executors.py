@@ -1,0 +1,77 @@
+"""Pluggable campaign execution backends.
+
+A campaign is an embarrassingly parallel grid of independent cells; the
+backends here only differ in *where* the cells run:
+
+* :func:`run_serial` — in-process loop (the reference ordering);
+* :func:`run_process_pool` — a ``ProcessPoolExecutor`` fan-out.
+
+Both return results in submission order, so a campaign's record list is
+identical regardless of backend — and because every cell re-derives its
+randomness from ``(root_seed, keys)`` rather than sharing generator state,
+the *contents* are bit-identical too (see
+:mod:`repro.engine.campaign`). Workers are seeded by value, never by
+inherited generator state, which makes the pool safe under the ``spawn``
+start method (fresh interpreters) as well as ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["run_serial", "run_process_pool"]
+
+
+def run_serial(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    """Run every cell in-process, in order."""
+    return [fn(item) for item in items]
+
+
+def _src_root() -> str:
+    """Directory that makes ``import repro`` work in a spawned child."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def run_process_pool(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int,
+    mp_context: Optional[str] = None,
+) -> List[R]:
+    """Fan cells out over ``jobs`` worker processes; results keep item order.
+
+    ``fn`` and every item must be picklable. ``mp_context`` selects the
+    multiprocessing start method (``"fork"``/``"spawn"``/``"forkserver"``);
+    the platform default is used when omitted. Under ``spawn`` the children
+    re-import this package from scratch, so the parent's source root is
+    exported via ``PYTHONPATH`` for the duration of the pool — the repo is
+    runnable without installation (the ROADMAP's ``PYTHONPATH=src`` mode).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if not items:
+        return []
+    jobs = min(jobs, len(items))
+    context = multiprocessing.get_context(mp_context)
+
+    src = _src_root()
+    old_pythonpath = os.environ.get("PYTHONPATH")
+    parts = old_pythonpath.split(os.pathsep) if old_pythonpath else []
+    if src not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src] + parts)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            return list(pool.map(fn, items))
+    finally:
+        if old_pythonpath is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = old_pythonpath

@@ -1,0 +1,219 @@
+"""Unified uplink-scheme interface and registry.
+
+Every uplink scheme the campaigns compare (Buzz's rateless code, the TDMA
+and CDMA baselines, and anything a future PR adds) is exposed through one
+:class:`UplinkScheme` protocol: draw nothing, mutate nothing global, take a
+population + front end + per-run generator, and return one
+:class:`SchemeResult`. The campaign executor only ever talks to this
+interface, so adding a scheme is a ``register_scheme`` call — no campaign
+code changes, and no per-scheme record-building branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.baselines.cdma import run_cdma_uplink
+from repro.baselines.tdma import run_tdma_uplink
+from repro.core.config import BuzzConfig
+from repro.core.rateless import run_rateless_uplink
+from repro.nodes.population import TagPopulation
+from repro.nodes.reader import ReaderFrontEnd
+
+__all__ = [
+    "SchemeResult",
+    "UplinkScheme",
+    "RatelessScheme",
+    "TdmaScheme",
+    "CdmaScheme",
+    "register_scheme",
+    "get_scheme",
+    "available_schemes",
+]
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """One scheme's outcome on one population draw — the unified record.
+
+    Attributes
+    ----------
+    scheme:
+        Registry name of the scheme that produced this result.
+    duration_s:
+        Total airtime of the transfer (query + data).
+    message_loss:
+        Messages not delivered (Fig. 11/12's error metric).
+    n_tags:
+        Population size K.
+    bits_per_symbol:
+        Realised aggregate rate (Fig. 12's right axis).
+    slots_used:
+        Scheme-specific slot accounting: collision slots for Buzz, K for
+        TDMA, the spreading factor for CDMA (Fig. 13 prices CDMA runs off
+        this field).
+    transmissions:
+        Per-tag transmission counts (drives the energy model).
+    bit_errors:
+        Hamming distance between decoded and true messages.
+    """
+
+    scheme: str
+    duration_s: float
+    message_loss: int
+    n_tags: int
+    bits_per_symbol: float
+    slots_used: int
+    transmissions: np.ndarray
+    bit_errors: int
+
+
+@runtime_checkable
+class UplinkScheme(Protocol):
+    """The contract every campaign-comparable uplink scheme satisfies."""
+
+    name: str
+
+    def run(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+    ) -> SchemeResult:
+        """Run one transfer of every tag's message and summarise it."""
+        ...
+
+
+class RatelessScheme:
+    """Buzz's data phase: the distributed rateless collision code (§6).
+
+    Draws fresh temporary ids from ``rng`` before the transfer (the
+    campaign's per-run randomised schedule), then runs
+    :func:`repro.core.rateless.run_rateless_uplink` with genie channel
+    knowledge — matching the paper's §9 setup where identification is
+    evaluated separately.
+    """
+
+    name = "buzz"
+
+    def run(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+    ) -> SchemeResult:
+        n = len(population)
+        id_space = 10 * n * n
+        for tag in population.tags:
+            tag.draw_temp_id(id_space, rng)
+        run = run_rateless_uplink(
+            population.tags, front_end, rng, config=config, max_slots=max_slots
+        )
+        return SchemeResult(
+            scheme=self.name,
+            duration_s=run.duration_s,
+            message_loss=run.message_loss,
+            n_tags=n,
+            bits_per_symbol=run.bits_per_symbol(),
+            slots_used=run.slots_used,
+            transmissions=run.transmissions.copy(),
+            bit_errors=run.bit_errors,
+        )
+
+
+class TdmaScheme:
+    """The Gen-2 baseline: sequential Miller-4 transmissions."""
+
+    name = "tdma"
+
+    def run(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+    ) -> SchemeResult:
+        run = run_tdma_uplink(population.tags, front_end, rng)
+        return SchemeResult(
+            scheme=self.name,
+            duration_s=run.duration_s,
+            message_loss=run.message_loss,
+            n_tags=len(population),
+            bits_per_symbol=run.bits_per_symbol(),
+            slots_used=len(population),
+            transmissions=run.transmissions.copy(),
+            bit_errors=run.bit_errors,
+        )
+
+
+class CdmaScheme:
+    """The synchronous-CDMA baseline with on-off Walsh spreading."""
+
+    name = "cdma"
+
+    def run(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+    ) -> SchemeResult:
+        run = run_cdma_uplink(population.tags, front_end, rng)
+        return SchemeResult(
+            scheme=self.name,
+            duration_s=run.duration_s,
+            message_loss=run.message_loss,
+            n_tags=len(population),
+            bits_per_symbol=run.bits_per_symbol(),
+            slots_used=run.spreading_factor,
+            transmissions=run.transmissions.copy(),
+            bit_errors=run.bit_errors,
+        )
+
+
+_REGISTRY: Dict[str, UplinkScheme] = {}
+
+
+def register_scheme(scheme: UplinkScheme, replace: bool = False) -> UplinkScheme:
+    """Add a scheme to the registry under ``scheme.name``.
+
+    Returns the scheme so the call can be used as a decorator-style
+    one-liner on an instance. Re-registering an existing name requires
+    ``replace=True`` — silent shadowing would corrupt campaign comparisons.
+    """
+    name = scheme.name
+    if not isinstance(name, str) or not name:
+        raise ValueError("scheme.name must be a non-empty string")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"scheme {name!r} is already registered")
+    _REGISTRY[name] = scheme
+    return scheme
+
+
+def get_scheme(name: str) -> UplinkScheme:
+    """Look up a registered scheme by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_schemes() -> Tuple[str, ...]:
+    """Names of every registered scheme, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_scheme(RatelessScheme())
+register_scheme(TdmaScheme())
+register_scheme(CdmaScheme())

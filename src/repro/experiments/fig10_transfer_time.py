@@ -4,19 +4,29 @@ TDMA and CDMA are pinned at 1 bit/symbol, so their transfer time is a
 fixed staircase in K (with CDMA's bump at K = 12 from Walsh-16). Buzz's
 rateless code finishes when everything decodes — roughly half the time on
 average (a 2× aggregate-rate gain).
+
+Runs on the unified scheme engine: pass ``jobs`` to evaluate the campaign
+grid on a process pool, ``schemes`` to restrict the comparison, and
+``scenario`` (a name from :data:`repro.network.scenarios.SCENARIO_NAMES`
+or a ``k → Scenario`` callable) to reproduce the figure on a different
+location class.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.experiments.common import format_table
-from repro.network.campaign import run_campaign
+from repro.network.campaign import SCHEMES, run_campaign
 from repro.network.metrics import UplinkMetrics, uplink_metrics_from_runs
-from repro.network.scenarios import default_uplink_scenario
+from repro.network.scenarios import (
+    ScenarioLike,
+    default_uplink_scenario,
+    resolve_scenario_factory,
+)
 
 __all__ = ["TransferTimeResult", "run", "render"]
 
@@ -27,6 +37,7 @@ class TransferTimeResult:
 
     tag_counts: List[int]
     metrics: Dict[int, Dict[str, UplinkMetrics]]
+    schemes: List[str] = field(default_factory=lambda: list(SCHEMES))
 
     def mean_time_ms(self, scheme: str, k: int) -> float:
         return self.metrics[k][scheme].mean_duration_ms
@@ -45,41 +56,44 @@ def run(
     n_locations: int = 10,
     n_traces: int = 5,
     seed: int = 10,
+    schemes: Sequence[str] = SCHEMES,
+    scenario: ScenarioLike = None,
+    jobs: int = 1,
 ) -> TransferTimeResult:
     """Run the Fig. 10 campaign across K."""
+    factory = resolve_scenario_factory(scenario, default_uplink_scenario)
     metrics: Dict[int, Dict[str, UplinkMetrics]] = {}
     for k in tag_counts:
         campaign = run_campaign(
-            default_uplink_scenario(k),
+            factory(k),
             root_seed=seed + k,
             n_locations=n_locations,
             n_traces=n_traces,
+            schemes=schemes,
+            jobs=jobs,
         )
         metrics[k] = {
             scheme: uplink_metrics_from_runs(scheme, campaign.by_scheme(scheme))
-            for scheme in ("buzz", "tdma", "cdma")
+            for scheme in schemes
         }
-    return TransferTimeResult(tag_counts=list(tag_counts), metrics=metrics)
+    return TransferTimeResult(
+        tag_counts=list(tag_counts), metrics=metrics, schemes=list(schemes)
+    )
 
 
 def render(result: TransferTimeResult) -> str:
-    rows = []
-    for k in result.tag_counts:
-        rows.append(
-            (
-                k,
-                result.mean_time_ms("buzz", k),
-                result.mean_time_ms("tdma", k),
-                result.mean_time_ms("cdma", k),
-            )
-        )
-    table = format_table(["K", "Buzz ms", "TDMA ms", "CDMA ms"], rows)
-    summary = (
-        f"\nFig. 10 reproduction: Buzz speedup over TDMA = "
-        f"{result.buzz_speedup_over('tdma'):.2f}x, over CDMA = "
-        f"{result.buzz_speedup_over('cdma'):.2f}x (paper: ~2x)"
+    rows = [
+        (k, *(result.mean_time_ms(s, k) for s in result.schemes))
+        for k in result.tag_counts
+    ]
+    table = format_table(["K"] + [f"{s.upper()} ms" for s in result.schemes], rows)
+    baselines = [s for s in result.schemes if s != "buzz"]
+    if "buzz" not in result.schemes or not baselines:
+        return table
+    speedups = ", ".join(
+        f"over {s.upper()} = {result.buzz_speedup_over(s):.2f}x" for s in baselines
     )
-    return table + summary
+    return table + f"\nFig. 10 reproduction: Buzz speedup {speedups} (paper: ~2x)"
 
 
 if __name__ == "__main__":

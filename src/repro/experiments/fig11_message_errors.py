@@ -4,40 +4,33 @@ On the same traces as Fig. 10: Buzz delivers everything (rateless), TDMA
 loses a few messages despite Miller-4, CDMA is the least reliable — with
 the K = 12 dip caused by its forced Walsh-16 spreading (extra processing
 gain relative to K = 8's Walsh-8).
+
+Runs on the unified scheme engine; see :mod:`repro.experiments.
+fig10_transfer_time` for the ``jobs`` / ``schemes`` / ``scenario`` knobs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from repro.experiments.common import format_table
-from repro.network.campaign import run_campaign
+from repro.network.campaign import SCHEMES, run_campaign
 from repro.network.metrics import UplinkMetrics, uplink_metrics_from_runs
-from repro.network.scenarios import Scenario, default_uplink_scenario
-from repro.phy.channel import ChannelModel
+from repro.network.scenarios import (
+    Scenario,
+    ScenarioLike,
+    error_prone_scenario,
+    resolve_scenario_factory,
+)
 
 __all__ = ["MessageErrorResult", "run", "render", "error_scenario"]
 
 
 def error_scenario(n_tags: int) -> Scenario:
-    """Fig. 11's channel class: harsher than Fig. 10's.
-
-    The paper's Fig. 11 shows nonzero TDMA/CDMA losses on the *same* traces
-    as Fig. 10; our simulator's idealized receivers (perfect channel
-    knowledge, no CW phase noise) need a lower SNR operating point to
-    exhibit the same baseline loss behaviour — see EXPERIMENTS.md's
-    calibration note.
-    """
-    return Scenario(
-        name=f"errors-k{n_tags}",
-        n_tags=n_tags,
-        channel_model=ChannelModel(
-            mean_snr_db=12.0, near_far_db=20.0, rician_k_db=8.0, noise_std=0.1
-        ),
-    )
+    """Fig. 11's channel class (now shared via
+    :func:`repro.network.scenarios.error_prone_scenario`)."""
+    return error_prone_scenario(n_tags)
 
 
 @dataclass(frozen=True)
@@ -46,6 +39,7 @@ class MessageErrorResult:
 
     tag_counts: List[int]
     metrics: Dict[int, Dict[str, UplinkMetrics]]
+    schemes: List[str] = field(default_factory=lambda: list(SCHEMES))
 
     def mean_undecoded(self, scheme: str, k: int) -> float:
         return self.metrics[k][scheme].mean_undecoded
@@ -56,34 +50,41 @@ def run(
     n_locations: int = 10,
     n_traces: int = 5,
     seed: int = 11,
+    schemes: Sequence[str] = SCHEMES,
+    scenario: ScenarioLike = None,
+    jobs: int = 1,
 ) -> MessageErrorResult:
     """Run the Fig. 11 campaign across K."""
+    factory = resolve_scenario_factory(scenario, error_scenario)
     metrics: Dict[int, Dict[str, UplinkMetrics]] = {}
     for k in tag_counts:
         campaign = run_campaign(
-            error_scenario(k),
+            factory(k),
             root_seed=seed + k,
             n_locations=n_locations,
             n_traces=n_traces,
+            schemes=schemes,
+            jobs=jobs,
         )
         metrics[k] = {
             scheme: uplink_metrics_from_runs(scheme, campaign.by_scheme(scheme))
-            for scheme in ("buzz", "tdma", "cdma")
+            for scheme in schemes
         }
-    return MessageErrorResult(tag_counts=list(tag_counts), metrics=metrics)
+    return MessageErrorResult(
+        tag_counts=list(tag_counts), metrics=metrics, schemes=list(schemes)
+    )
 
 
 def render(result: MessageErrorResult) -> str:
     rows = [
-        (
-            k,
-            result.mean_undecoded("buzz", k),
-            result.mean_undecoded("tdma", k),
-            result.mean_undecoded("cdma", k),
-        )
+        (k, *(result.mean_undecoded(s, k) for s in result.schemes))
         for k in result.tag_counts
     ]
-    table = format_table(["K", "Buzz undecoded", "TDMA undecoded", "CDMA undecoded"], rows)
+    table = format_table(
+        ["K"] + [f"{s.upper()} undecoded" for s in result.schemes], rows
+    )
+    if set(result.schemes) < {"buzz", "tdma", "cdma"}:
+        return table  # the paper's claim is about the full comparison
     summary = (
         "\nFig. 11 reproduction (paper: Buzz = 0 for all K; TDMA small; "
         "CDMA worst, dipping at K=12 from Walsh-16)"

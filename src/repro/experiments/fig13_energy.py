@@ -24,8 +24,12 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.experiments.common import format_table
-from repro.network.campaign import run_campaign
-from repro.network.scenarios import default_uplink_scenario
+from repro.network.campaign import SCHEMES, run_campaign
+from repro.network.scenarios import (
+    ScenarioLike,
+    default_uplink_scenario,
+    resolve_scenario_factory,
+)
 from repro.nodes.energy import MOO_ENERGY_PROFILE, EnergyProfile, TransmissionCost
 from repro.gen2.timing import GEN2_DEFAULT_TIMING
 
@@ -59,17 +63,27 @@ def run(
     n_traces: int = 2,
     seed: int = 13,
     profile: EnergyProfile = MOO_ENERGY_PROFILE,
+    schemes: Sequence[str] = SCHEMES,
+    scenario: ScenarioLike = None,
+    jobs: int = 1,
 ) -> EnergyResult:
     """Account energy per scheme from the campaign's transmission records.
 
     The same campaign (channels, schedules) is re-priced at each starting
     voltage, mirroring the paper's repeated 8800-query drains.
     """
+    factory = resolve_scenario_factory(
+        scenario,
+        lambda k: default_uplink_scenario(k, message_bits=message_bits),
+        message_bits=message_bits,
+    )
     campaign = run_campaign(
-        default_uplink_scenario(n_tags, message_bits=message_bits),
+        factory(n_tags),
         root_seed=seed,
         n_locations=n_locations,
         n_traces=n_traces,
+        schemes=schemes,
+        jobs=jobs,
     )
     bit_s = 1.0 / GEN2_DEFAULT_TIMING.uplink_rate_bps
     p_bits = message_bits + 5  # payload + CRC-5
@@ -80,7 +94,7 @@ def run(
     ook_sw = p_bits / 2 + 1
     miller_sw = 8 * p_bits
     costs = {}
-    for scheme in ("buzz", "tdma", "cdma"):
+    for scheme in schemes:
         runs = campaign.by_scheme(scheme)
         per_tx_onair = {
             "buzz": p_bits * bit_s,
@@ -122,16 +136,14 @@ def run(
 
 
 def render(result: EnergyResult) -> str:
+    schemes = list(result.energy_uj)
     rows = [
-        (
-            f"{v:.0f} V",
-            result.mean_energy_uj("buzz", v),
-            result.mean_energy_uj("tdma", v),
-            result.mean_energy_uj("cdma", v),
-        )
+        (f"{v:.0f} V", *(result.mean_energy_uj(s, v) for s in schemes))
         for v in result.voltages
     ]
-    table = format_table(["V0", "Buzz uJ", "TDMA uJ", "CDMA uJ"], rows)
+    table = format_table(["V0"] + [f"{s.upper()} uJ" for s in schemes], rows)
+    if set(schemes) < {"buzz", "tdma", "cdma"}:
+        return table  # the paper's claim is about the full comparison
     summary = (
         "\nFig. 13 reproduction (paper: Buzz ~= TDMA; CDMA several times higher; "
         "all grow with starting voltage)"

@@ -41,14 +41,20 @@ def run(
     n_locations: int = 8,
     n_traces: int = 3,
     seed: int = 15,
+    jobs: int = 1,
 ) -> HeadlineResult:
     """Compose the headline from the two sub-experiments.
 
     Baseline = FSA identification + TDMA data transfer (the Gen-2 way);
-    Buzz = CS identification + rateless data transfer.
+    Buzz = CS identification + rateless data transfer. ``jobs``
+    parallelises the transfer campaigns.
     """
     transfer = fig10_transfer_time.run(
-        tag_counts=tag_counts, n_locations=n_locations, n_traces=n_traces, seed=seed
+        tag_counts=tag_counts,
+        n_locations=n_locations,
+        n_traces=n_traces,
+        seed=seed,
+        jobs=jobs,
     )
     ident = fig14_identification.run(
         tag_counts=tag_counts, n_locations=n_locations, seed=seed + 1

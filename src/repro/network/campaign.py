@@ -4,75 +4,29 @@ Mirrors the paper's methodology: at each location the three schemes run
 back-to-back "without changing the environment", i.e. on the same channel
 realisation; only the noise (and Buzz's randomised schedule) differs across
 the five traces.
+
+This module is the stable, paper-shaped entry point; the grid machinery
+lives in :mod:`repro.engine.campaign` (declarative
+:class:`~repro.engine.campaign.CampaignSpec`, scheme registry, serial and
+process-pool executors). ``run_campaign(..., jobs=4)`` parallelises any
+campaign bit-identically to its serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.baselines.cdma import run_cdma_uplink
-from repro.baselines.tdma import run_tdma_uplink
 from repro.core.config import BuzzConfig
-from repro.core.rateless import run_rateless_uplink
+from repro.engine.campaign import (
+    SCHEMES,
+    CampaignResult,
+    CampaignSpec,
+    SchemeRun,
+)
+from repro.engine.campaign import run_campaign as _run_spec
 from repro.network.scenarios import Scenario
-from repro.nodes.reader import ReaderFrontEnd
-from repro.utils.rng import SeedSequenceFactory
-from repro.utils.validation import ensure_positive_int
 
 __all__ = ["SchemeRun", "CampaignResult", "run_campaign", "SCHEMES"]
-
-SCHEMES = ("buzz", "tdma", "cdma")
-
-
-@dataclass(frozen=True)
-class SchemeRun:
-    """One scheme's outcome on one trace."""
-
-    scheme: str
-    location: int
-    trace: int
-    duration_s: float
-    message_loss: int
-    n_tags: int
-    bits_per_symbol: float
-    slots_used: int
-    transmissions: np.ndarray
-    bit_errors: int
-
-
-@dataclass
-class CampaignResult:
-    """All runs of a campaign, indexable by scheme."""
-
-    scenario_name: str
-    runs: List[SchemeRun] = field(default_factory=list)
-
-    def by_scheme(self, scheme: str) -> List[SchemeRun]:
-        if scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {scheme!r}")
-        return [r for r in self.runs if r.scheme == scheme]
-
-    def mean_duration_s(self, scheme: str) -> float:
-        runs = self.by_scheme(scheme)
-        return float(np.mean([r.duration_s for r in runs]))
-
-    def total_loss(self, scheme: str) -> int:
-        return int(sum(r.message_loss for r in self.by_scheme(scheme)))
-
-    def mean_loss_per_run(self, scheme: str) -> float:
-        runs = self.by_scheme(scheme)
-        return float(np.mean([r.message_loss for r in runs]))
-
-    def median_loss_fraction(self, scheme: str) -> float:
-        runs = self.by_scheme(scheme)
-        return float(np.median([r.message_loss / r.n_tags for r in runs]))
-
-    def mean_rate(self, scheme: str) -> float:
-        runs = self.by_scheme(scheme)
-        return float(np.mean([r.bits_per_symbol for r in runs]))
 
 
 def run_campaign(
@@ -83,6 +37,7 @@ def run_campaign(
     schemes: Sequence[str] = SCHEMES,
     config: Optional[BuzzConfig] = None,
     max_slots: Optional[int] = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run the paper's location × trace × scheme grid.
 
@@ -91,74 +46,17 @@ def run_campaign(
     genie channel knowledge here (identification is evaluated separately in
     the Fig. 14 experiment), matching the paper's §9 setup: "we assume that
     the backscatter reader has already performed node identification".
+
+    ``jobs > 1`` evaluates the grid on a process pool; results are
+    bit-identical to the serial run for the same ``root_seed``.
     """
-    ensure_positive_int(n_locations, "n_locations")
-    ensure_positive_int(n_traces, "n_traces")
-    for scheme in schemes:
-        if scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {scheme!r}")
-    cfg = config if config is not None else BuzzConfig()
-    seeds = SeedSequenceFactory(root_seed)
-    result = CampaignResult(scenario_name=scenario.name)
-
-    for location in range(n_locations):
-        pop_rng = seeds.stream("location", location)
-        population = scenario.draw_population(pop_rng)
-        front_end = ReaderFrontEnd(noise_std=population.noise_std)
-        id_space = 10 * scenario.n_tags * scenario.n_tags
-
-        for trace in range(n_traces):
-            for scheme in schemes:
-                run_rng = seeds.stream("trace", location, trace, scheme)
-                if scheme == "buzz":
-                    for tag in population.tags:
-                        tag.draw_temp_id(id_space, run_rng)
-                    run = run_rateless_uplink(
-                        population.tags,
-                        front_end,
-                        run_rng,
-                        config=cfg,
-                        max_slots=max_slots,
-                    )
-                    record = SchemeRun(
-                        scheme=scheme,
-                        location=location,
-                        trace=trace,
-                        duration_s=run.duration_s,
-                        message_loss=run.message_loss,
-                        n_tags=len(population),
-                        bits_per_symbol=run.bits_per_symbol(),
-                        slots_used=run.slots_used,
-                        transmissions=run.transmissions.copy(),
-                        bit_errors=run.bit_errors,
-                    )
-                elif scheme == "tdma":
-                    run = run_tdma_uplink(population.tags, front_end, run_rng)
-                    record = SchemeRun(
-                        scheme=scheme,
-                        location=location,
-                        trace=trace,
-                        duration_s=run.duration_s,
-                        message_loss=run.message_loss,
-                        n_tags=len(population),
-                        bits_per_symbol=run.bits_per_symbol(),
-                        slots_used=len(population),
-                        transmissions=run.transmissions.copy(),
-                        bit_errors=run.bit_errors,
-                    )
-                else:
-                    run = run_cdma_uplink(population.tags, front_end, run_rng)
-                    record = SchemeRun(
-                        scheme=scheme,
-                        location=location,
-                        trace=trace,
-                        duration_s=run.duration_s,
-                        message_loss=run.message_loss,
-                        n_tags=len(population),
-                        bits_per_symbol=run.bits_per_symbol(),
-                        slots_used=run.spreading_factor,
-                        transmissions=run.transmissions.copy(),
-                        bit_errors=run.bit_errors,
-                    )
-                result.runs.append(record)
-    return result
+    spec = CampaignSpec(
+        scenario=scenario,
+        root_seed=root_seed,
+        n_locations=n_locations,
+        n_traces=n_traces,
+        schemes=tuple(schemes),
+        configs=(config if config is not None else BuzzConfig(),),
+        max_slots=max_slots,
+    )
+    return _run_spec(spec, jobs=jobs)

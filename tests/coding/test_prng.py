@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.coding.prng import TagLfsr, slot_decision, transmit_pattern, transmit_pattern_matrix
+from repro.coding.prng import (
+    TagLfsr,
+    slot_decision,
+    slot_decision_matrix,
+    transmit_pattern,
+    transmit_pattern_matrix,
+)
 
 
 class TestTagLfsr:
@@ -75,6 +81,37 @@ class TestSlotDecision:
     @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=0, max_value=2**20))
     def test_output_is_binary(self, seed, slot):
         assert slot_decision(seed, slot, 0.5) in (0, 1)
+
+
+class TestSlotDecisionMatrix:
+    @settings(max_examples=25)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=6),
+        st.lists(st.integers(min_value=0, max_value=2**25), min_size=1, max_size=8),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_bit_identical_to_scalar(self, seeds, slots, p, salt):
+        """The vectorized path must agree with slot_decision on every entry —
+        any divergence would desynchronise tags from the reader's D."""
+        matrix = slot_decision_matrix(seeds, slots, p, salt)
+        assert matrix.shape == (len(slots), len(seeds))
+        assert matrix.dtype == np.uint8
+        for j, slot in enumerate(slots):
+            for i, seed in enumerate(seeds):
+                assert matrix[j, i] == slot_decision(seed, slot, p, salt)
+
+    def test_empty_inputs(self):
+        assert slot_decision_matrix([], range(4), 0.5).shape == (4, 0)
+        assert slot_decision_matrix([1, 2], [], 0.5).shape == (0, 2)
+
+    def test_probability_respected(self):
+        matrix = slot_decision_matrix(range(50), range(500), 0.3)
+        assert abs(matrix.mean() - 0.3) < 0.02
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            slot_decision_matrix([1], [1], 1.5)
 
 
 class TestTransmitPattern:

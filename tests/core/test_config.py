@@ -57,7 +57,11 @@ class TestDerivedParameters:
 
     def test_max_data_slots(self):
         cfg = BuzzConfig(max_data_slots_factor=10.0)
-        assert cfg.max_data_slots(8, 32) == 80
+        assert cfg.max_data_slots(8) == 80
+
+    def test_max_data_slots_floor(self):
+        cfg = BuzzConfig(max_data_slots_factor=1.0)
+        assert cfg.max_data_slots(1) == 4
 
 
 class TestValidation:

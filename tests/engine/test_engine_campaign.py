@@ -1,0 +1,172 @@
+"""Tests for repro.engine.campaign — declarative grid + executors.
+
+The golden records below were captured from the pre-engine serial loop
+(``repro.network.campaign.run_campaign`` before the scheme-registry
+refactor) at root_seed 2024/77: the engine must reproduce them bit for
+bit, serially and in parallel.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import BuzzConfig
+from repro.engine.campaign import CampaignCell, CampaignSpec, run_campaign, run_cell
+from repro.engine.schemes import TdmaScheme, register_scheme
+from repro.engine import schemes as schemes_module
+from repro.network.scenarios import default_uplink_scenario
+
+#: (scheme, location, trace, duration_s, message_loss, slots_used,
+#:  bits_per_symbol, bit_errors, transmissions) for the K=4 default scenario,
+#: root_seed=2024, 2 locations × 2 traces — pre-refactor serial output.
+GOLDEN_DEFAULT_K4 = [
+    ("buzz", 0, 0, 0.003189814814814815, 0, 5, 0.8, 0, [3, 4, 5, 4]),
+    ("tdma", 0, 0, 0.002727314814814815, 0, 4, 1.0, 0, [1, 1, 1, 1]),
+    ("cdma", 0, 0, 0.002727314814814815, 0, 4, 1.0, 0, [1, 1, 1, 1]),
+    ("buzz", 0, 1, 0.002727314814814815, 0, 4, 1.0, 0, [4, 2, 4, 2]),
+    ("tdma", 0, 1, 0.002727314814814815, 0, 4, 1.0, 0, [1, 1, 1, 1]),
+    ("cdma", 0, 1, 0.002727314814814815, 0, 4, 1.0, 0, [1, 1, 1, 1]),
+    ("buzz", 1, 0, 0.002264814814814815, 0, 3, 1.3333333333333333, 0, [1, 3, 3, 1]),
+    ("tdma", 1, 0, 0.002727314814814815, 0, 4, 1.0, 0, [1, 1, 1, 1]),
+    ("cdma", 1, 0, 0.002727314814814815, 1, 4, 1.0, 7, [1, 1, 1, 1]),
+    ("buzz", 1, 1, 0.0013398148148148147, 0, 1, 4.0, 0, [1, 1, 1, 1]),
+    ("tdma", 1, 1, 0.002727314814814815, 0, 4, 1.0, 0, [1, 1, 1, 1]),
+    ("cdma", 1, 1, 0.002727314814814815, 1, 4, 1.0, 6, [1, 1, 1, 1]),
+]
+
+
+class _EchoTdmaScheme(TdmaScheme):
+    """A 'user-defined' scheme for registry/executor tests."""
+
+    name = "echo-tdma"
+
+    def run(self, population, front_end, rng, config, max_slots=None):
+        result = super().run(population, front_end, rng, config, max_slots)
+        return dataclasses.replace(result, scheme=self.name)
+
+
+def _spec(**overrides):
+    defaults = dict(
+        scenario=default_uplink_scenario(4),
+        root_seed=2024,
+        n_locations=2,
+        n_traces=2,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def _record(run):
+    return (
+        run.scheme,
+        run.location,
+        run.trace,
+        float(run.duration_s),
+        int(run.message_loss),
+        int(run.slots_used),
+        float(run.bits_per_symbol),
+        int(run.bit_errors),
+        [int(x) for x in run.transmissions],
+    )
+
+
+class TestCampaignSpec:
+    def test_cells_enumerate_in_grid_order(self):
+        spec = _spec(schemes=("buzz", "tdma"))
+        cells = list(spec.cells())
+        assert len(cells) == spec.n_cells == 2 * 2 * 2
+        assert cells[0] == CampaignCell(0, 0, "buzz", 0)
+        assert cells[1] == CampaignCell(0, 0, "tdma", 0)
+        assert cells[2] == CampaignCell(0, 1, "buzz", 0)
+
+    def test_unknown_scheme_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            _spec(schemes=("aloha",))
+
+    def test_empty_schemes_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(schemes=())
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(configs=())
+
+    def test_config_sweep_adds_variant_axis(self):
+        spec = _spec(
+            schemes=("tdma",),
+            configs=(BuzzConfig(), BuzzConfig(decode_every=2)),
+        )
+        assert spec.n_cells == 2 * 2 * 1 * 2
+        variants = [c.variant for c in spec.cells()]
+        assert variants[:2] == [0, 1]
+
+
+class TestGoldenReproduction:
+    """Registry schemes must reproduce the pre-refactor results exactly."""
+
+    def test_serial_matches_pre_refactor_golden(self):
+        result = run_campaign(_spec())
+        assert [_record(r) for r in result.runs] == GOLDEN_DEFAULT_K4
+
+    def test_single_cell_matches_golden(self):
+        run = run_cell(_spec(), CampaignCell(1, 0, "buzz"))
+        assert _record(run) == GOLDEN_DEFAULT_K4[6]
+
+    def test_cells_are_order_independent(self):
+        """A cell computes the same bits no matter when it runs — the
+        property the process pool relies on."""
+        spec = _spec()
+        forward = [run_cell(spec, c) for c in spec.cells()]
+        backward = [run_cell(spec, c) for c in reversed(list(spec.cells()))]
+        assert [_record(r) for r in reversed(backward)] == [_record(r) for r in forward]
+
+
+class TestParallelExecution:
+    def test_parallel_bit_identical_to_serial(self):
+        spec = _spec()
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=4)
+        assert [_record(r) for r in serial.runs] == [_record(r) for r in parallel.runs]
+        assert [_record(r) for r in parallel.runs] == GOLDEN_DEFAULT_K4
+
+    def test_spawn_context_bit_identical(self):
+        """Spawn-safety: fresh interpreters re-derive identical cells."""
+        spec = _spec(n_locations=1, n_traces=1)
+        serial = run_campaign(spec, jobs=1)
+        spawned = run_campaign(spec, jobs=2, mp_context="spawn")
+        assert [_record(r) for r in serial.runs] == [_record(r) for r in spawned.runs]
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(_spec(), jobs=0)
+
+    def test_user_registered_scheme_runs_in_workers(self):
+        """Schemes are shipped to workers by value, so a scheme registered
+        only in the parent process still runs under jobs > 1."""
+        register_scheme(_EchoTdmaScheme())
+        try:
+            spec = _spec(n_locations=1, n_traces=1, schemes=("echo-tdma",))
+            serial = run_campaign(spec, jobs=1)
+            parallel = run_campaign(spec, jobs=2)
+            assert [r.scheme for r in parallel.runs] == ["echo-tdma"]
+            assert _record(serial.runs[0]) == _record(parallel.runs[0])
+        finally:
+            schemes_module._REGISTRY.pop("echo-tdma", None)
+
+
+class TestCampaignResult:
+    def test_aggregates_and_by_scheme(self):
+        result = run_campaign(_spec())
+        assert len(result.by_scheme("buzz")) == 4
+        assert result.mean_duration_s("tdma") > 0
+        assert result.total_loss("cdma") == 2
+        assert 0.0 <= result.median_loss_fraction("cdma") <= 1.0
+        assert result.mean_rate("buzz") == pytest.approx(
+            np.mean([0.8, 1.0, 4 / 3, 4.0])
+        )
+
+    def test_unknown_scheme_rejected(self):
+        result = run_campaign(_spec())
+        with pytest.raises(ValueError):
+            result.by_scheme("aloha")

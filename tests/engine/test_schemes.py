@@ -1,0 +1,108 @@
+"""Tests for repro.engine.schemes — the unified scheme interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BuzzConfig
+from repro.engine.schemes import (
+    CdmaScheme,
+    RatelessScheme,
+    SchemeResult,
+    TdmaScheme,
+    UplinkScheme,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+from repro.network.scenarios import default_uplink_scenario
+from repro.nodes.reader import ReaderFrontEnd
+from repro.utils.rng import SeedSequenceFactory
+
+
+def _location(n_tags=4, seed=3):
+    seeds = SeedSequenceFactory(seed)
+    population = default_uplink_scenario(n_tags).draw_population(seeds.stream("location", 0))
+    return population, ReaderFrontEnd(noise_std=population.noise_std)
+
+
+class TestRegistry:
+    def test_builtin_schemes_registered(self):
+        assert set(available_schemes()) >= {"buzz", "tdma", "cdma"}
+
+    def test_get_scheme_returns_protocol_instances(self):
+        for name in ("buzz", "tdma", "cdma"):
+            assert isinstance(get_scheme(name), UplinkScheme)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            get_scheme("aloha")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme(TdmaScheme())
+
+    def test_replace_allows_reregistration(self):
+        original = get_scheme("tdma")
+        try:
+            replacement = TdmaScheme()
+            assert register_scheme(replacement, replace=True) is replacement
+            assert get_scheme("tdma") is replacement
+        finally:
+            register_scheme(original, replace=True)
+
+    def test_nameless_scheme_rejected(self):
+        class Broken:
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_scheme(Broken())
+
+
+class TestSchemeAdapters:
+    @pytest.mark.parametrize("name", ["buzz", "tdma", "cdma"])
+    def test_unified_result_shape(self, name):
+        population, front_end = _location()
+        seeds = SeedSequenceFactory(3)
+        result = get_scheme(name).run(
+            population, front_end, seeds.stream("trace", 0, 0, name), config=BuzzConfig()
+        )
+        assert isinstance(result, SchemeResult)
+        assert result.scheme == name
+        assert result.n_tags == 4
+        assert result.duration_s > 0
+        assert result.slots_used > 0
+        assert result.transmissions.shape == (4,)
+        assert 0 <= result.message_loss <= 4
+
+    def test_tdma_slots_used_is_population_size(self):
+        population, front_end = _location(n_tags=5, seed=8)
+        result = TdmaScheme().run(
+            population, front_end, np.random.default_rng(0), config=BuzzConfig()
+        )
+        assert result.slots_used == 5
+        assert result.bits_per_symbol == 1.0
+
+    def test_cdma_slots_used_is_spreading_factor(self):
+        population, front_end = _location(n_tags=5, seed=8)
+        result = CdmaScheme().run(
+            population, front_end, np.random.default_rng(0), config=BuzzConfig()
+        )
+        assert result.slots_used == 8  # next power of two above 5
+
+    def test_buzz_draws_fresh_temp_ids(self):
+        population, front_end = _location()
+        RatelessScheme().run(
+            population, front_end, np.random.default_rng(1), config=BuzzConfig()
+        )
+        assert all(t.temp_id is not None for t in population.tags)
+
+    def test_buzz_respects_max_slots(self):
+        population, front_end = _location()
+        result = RatelessScheme().run(
+            population,
+            front_end,
+            np.random.default_rng(1),
+            config=BuzzConfig(),
+            max_slots=2,
+        )
+        assert result.slots_used <= 2
