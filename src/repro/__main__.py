@@ -7,13 +7,18 @@ Usage::
     python -m repro --quick                  # reduced trial counts (~2 minutes)
     python -m repro fig10 --jobs 8           # campaign grid on 8 processes
     python -m repro fig11 --schemes buzz,tdma
+    python -m repro fig11 --schemes silenced # the §8.2 ACK-silencing variant
     python -m repro fig10 --scenario cart    # any figure on any location class
+    python -m repro fig10 --cache-dir .buzz-cache   # re-runs load cached cells
+    python -m repro --quick --out results/   # also write each report to a file
 
-``--jobs`` applies to every campaign-backed experiment (fig10–fig13 and
-headline); ``--schemes`` and ``--scenario`` to the per-scheme figures
-(fig10, fig11, fig13 — fig12's band sweep and headline's composition fix
-their own grids). Experiments a flag does not apply to ignore it with a
-note. Parallel runs are bit-identical to serial ones for the same seed.
+``--jobs`` and ``--cache-dir`` apply to every campaign-backed experiment
+(fig10–fig13 and headline); ``--schemes`` and ``--scenario`` to the
+per-scheme figures (fig10, fig11, fig13 — fig12's band sweep and
+headline's composition fix their own grids). Experiments a flag does not
+apply to ignore it with a note. Parallel runs are bit-identical to serial
+ones for the same seed, and a second run against the same ``--cache-dir``
+executes zero new campaign cells.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import (
     fig2_waveforms,
@@ -51,28 +57,33 @@ _EXPERIMENTS = {
         fig10_transfer_time,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "schemes", "scenario"},
+        {"jobs", "schemes", "scenario", "cache_dir"},
     ),
     "fig11": (
         fig11_message_errors,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "schemes", "scenario"},
+        {"jobs", "schemes", "scenario", "cache_dir"},
     ),
     "fig12": (
         fig12_challenging,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs"},
+        {"jobs", "cache_dir"},
     ),
     "fig13": (
         fig13_energy,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "schemes", "scenario"},
+        {"jobs", "schemes", "scenario", "cache_dir"},
     ),
     "fig14": (fig14_identification, {}, {"n_locations": 4}, set()),
-    "headline": (headline, {}, {"n_locations": 3, "n_traces": 1}, {"jobs"}),
+    "headline": (
+        headline,
+        {},
+        {"n_locations": 3, "n_traces": 1},
+        {"jobs", "cache_dir"},
+    ),
 }
 
 
@@ -124,6 +135,19 @@ def main(argv=None) -> int:
         default=None,
         help="location class override for campaign figures",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="campaign result cache: cells already computed for the same "
+        "spec load from JSON instead of executing (created if missing)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's rendered report to DIR/<name>.txt",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -135,6 +159,13 @@ def main(argv=None) -> int:
         overrides["schemes"] = args.schemes
     if args.scenario is not None:
         overrides["scenario"] = args.scenario
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+
+    out_dir = None
+    if args.out is not None:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
 
     names = args.experiments or list(_EXPERIMENTS)
     for name in names:
@@ -146,8 +177,12 @@ def main(argv=None) -> int:
         start = time.time()
         print(f"===== {name} =====")
         if ignored:
-            print(f"(note: --{', --'.join(ignored)} not applicable to {name})")
-        print(module.render(module.run(**kwargs)))
+            flags = ", ".join("--" + n.replace("_", "-") for n in ignored)
+            print(f"(note: {flags} not applicable to {name})")
+        report = module.render(module.run(**kwargs))
+        print(report)
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(report + "\n")
         print(f"[{time.time() - start:.1f}s]\n")
     return 0
 

@@ -31,11 +31,51 @@ import numpy as np
 
 from repro.utils.validation import ensure_positive_int
 
-__all__ = ["BitFlipDecoder", "DecodeOutcome"]
+__all__ = [
+    "BitFlipDecoder",
+    "DecodeOutcome",
+    "BatchedBitFlipDecoder",
+    "BatchedDecodeOutcome",
+]
 
 _NEG_INF = -np.inf
 #: Gains below this are treated as zero — guards float jitter from cycling.
 _GAIN_TOL = 1e-9
+#: Residuals below this are "exact": restarts stop drawing new inits.
+_RESIDUAL_EXACT = 1e-9
+
+
+def _scan_pair_flip(
+    d: np.ndarray,
+    h: np.ndarray,
+    residual: np.ndarray,
+    bits: np.ndarray,
+    frozen: np.ndarray,
+) -> Optional[tuple]:
+    """Best positive-gain joint two-bit flip, or ``None``.
+
+    Shared by the per-position and batched decoders so both take identical
+    escape decisions at a stall. Quadratic in K, but only invoked when
+    single flips have stalled.
+    """
+    free = np.flatnonzero(~frozen)
+    best_gain = _GAIN_TOL
+    best_pair: Optional[tuple] = None
+    for a_idx in range(free.size):
+        i = int(free[a_idx])
+        delta_i = h[i] * (1.0 - 2.0 * float(bits[i]))
+        d_i = d[:, i].astype(float)
+        for b_idx in range(a_idx + 1, free.size):
+            j = int(free[b_idx])
+            delta_j = h[j] * (1.0 - 2.0 * float(bits[j]))
+            u = delta_i * d_i + delta_j * d[:, j].astype(float)
+            gain = 2.0 * float(np.real(np.vdot(u, residual))) - float(
+                np.real(np.vdot(u, u))
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best_pair = (i, j)
+    return best_pair
 
 
 @dataclass
@@ -133,24 +173,7 @@ class BitFlipDecoder:
         Returns the best such pair or ``None``. Quadratic in K, but only
         invoked when single flips have stalled.
         """
-        free = np.flatnonzero(~frozen)
-        best_gain = _GAIN_TOL
-        best_pair: Optional[tuple] = None
-        for a_idx in range(free.size):
-            i = int(free[a_idx])
-            delta_i = self.h[i] * (1.0 - 2.0 * float(bits[i]))
-            d_i = self.d[:, i].astype(float)
-            for b_idx in range(a_idx + 1, free.size):
-                j = int(free[b_idx])
-                delta_j = self.h[j] * (1.0 - 2.0 * float(bits[j]))
-                u = delta_i * d_i + delta_j * self.d[:, j].astype(float)
-                gain = 2.0 * float(np.real(np.vdot(u, residual))) - float(
-                    np.real(np.vdot(u, u))
-                )
-                if gain > best_gain:
-                    best_gain = gain
-                    best_pair = (i, j)
-        return best_pair
+        return _scan_pair_flip(self.d, self.h, residual, bits, frozen)
 
     # ---- decoding -------------------------------------------------------------
     def decode(
@@ -258,7 +281,7 @@ class BitFlipDecoder:
         """
         best = self.decode(y, init=init, frozen=frozen, rng=rng)
         for _ in range(max(0, restarts)):
-            if best.residual_norm <= 1e-9:
+            if best.residual_norm <= _RESIDUAL_EXACT:
                 break
             trial_init = (rng.random(self.k) < 0.5).astype(np.uint8)
             if init is not None and frozen is not None:
@@ -267,4 +290,319 @@ class BitFlipDecoder:
             trial = self.decode(y, init=trial_init, frozen=frozen, rng=rng)
             if trial.residual_norm < best.residual_norm:
                 best = trial
+        return best
+
+
+@dataclass
+class BatchedDecodeOutcome:
+    """Result of one batched decode over M bit positions.
+
+    Attributes
+    ----------
+    bits:
+        The decoded ``(K, M)`` binary matrix — column *m* is position *m*'s
+        estimate.
+    flips:
+        ``(M,)`` flips performed per position.
+    converged:
+        ``(M,)`` — False where the flip-budget safety valve tripped.
+    residual_norms:
+        ``(M,)`` per-position ``‖D(h∘b̂_m) − y_m‖₂`` at termination.
+    """
+
+    bits: np.ndarray
+    flips: np.ndarray
+    converged: np.ndarray
+    residual_norms: np.ndarray
+
+
+class BatchedBitFlipDecoder:
+    """Joint decoder for *all* M bit positions of all K nodes at once.
+
+    The M per-position collision systems ``min_b ‖D·diag(h)·b − y_m‖²``
+    share the same D, h, and bipartite graph — only the received column
+    ``y_m`` and the bit column ``b_m`` differ. This kernel keeps the full
+    ``(K, M)`` bit matrix and ``(L, M)`` residual matrix, computes every
+    position's gains with **one** matmul per round (``D^T · conj(R)``), and
+    flips the argmax bit of every still-active position per round.
+    Positions freeze independently: a column whose gains are exhausted (and
+    whose pair-flip escape finds nothing) drops out of later rounds.
+
+    Flip decisions per column are the same as :class:`BitFlipDecoder`'s —
+    same gain formula, same tolerance, same pair-flip escape, same restart
+    RNG draw order — so on generic inputs the decoded bits are identical
+    to running the per-position decoder M times; only the Python-loop and
+    small-matvec overhead is gone. The golden-seed equivalence tests pin
+    this. The equivalence boundary is float ties: gains here come from one
+    gemm where the per-position decoder issues many small gemvs, so the
+    two agree only to the last ulp, and an *exact* tie broken differently
+    (two bits with equal gains, or two restart candidates whose equally
+    good local minima tie in residual norm to within rounding) may pick a
+    different — equally optimal — answer. Continuous channel draws make
+    such ties vanishingly rare in the rateless loop.
+
+    Parameters
+    ----------
+    d_matrix:
+        ``(L, K)`` binary collision matrix (reader-regenerated D).
+    channels:
+        ``(K,)`` complex channel estimates ``ĥ``.
+    max_flips:
+        Safety bound on flips per position per decode call.
+    """
+
+    def __init__(self, d_matrix: np.ndarray, channels: Sequence[complex], max_flips: int = 10_000):
+        self.d = np.atleast_2d(np.asarray(d_matrix, dtype=np.uint8))
+        self.h = np.asarray(channels, dtype=complex).ravel()
+        if self.d.shape[1] != self.h.size:
+            raise ValueError(
+                f"D has {self.d.shape[1]} columns but {self.h.size} channels given"
+            )
+        ensure_positive_int(max_flips, "max_flips")
+        self.max_flips = max_flips
+        self.n_slots, self.k = self.d.shape
+        self._signal = self.d.astype(float) * self.h[None, :]
+        self._d_f = self.d.astype(float)
+        self._dT = np.ascontiguousarray(self._d_f.T)
+        self._weights = self.d.sum(axis=0).astype(float)
+        self._overlap_cache: Optional[np.ndarray] = None
+
+    @property
+    def _overlap(self) -> np.ndarray:
+        """Pairwise slot overlap |d_i ∩ d_j|, built on first stall.
+
+        Only the pair-flip escape consumes it, and the rateless loop
+        constructs a fresh kernel per slot arrival — computing the K×K
+        matmul eagerly would bill every slot for a path most decodes never
+        take.
+        """
+        if self._overlap_cache is None:
+            self._overlap_cache = self._dT @ self._d_f
+        return self._overlap_cache
+
+    # ---- pair-flip escape -----------------------------------------------------
+    def _best_pair_flip(
+        self, gains: np.ndarray, delta: np.ndarray, frozen: np.ndarray
+    ) -> Optional[tuple]:
+        """Closed-form joint two-bit scan for one stalled column.
+
+        Flipping *i* and *j* together changes the error by
+        ``G_i + G_j − 2·Re(conj(δ_i)·δ_j)·|d_i ∩ d_j|`` (the cross term
+        lives only on shared slots), so the whole K×K pair matrix comes
+        from the single-flip gains already in hand — no per-pair residual
+        correlations. Selection matches :func:`_scan_pair_flip`: pairs
+        ``i < j`` over unfrozen bits in row-major order, first strict
+        maximum above the gain tolerance.
+        """
+        free = np.flatnonzero(~frozen)
+        if free.size < 2:
+            return None
+        g = gains[free]
+        dlt = delta[free]
+        cross = 2.0 * np.real(np.conj(dlt)[:, None] * dlt[None, :])
+        pair_gains = g[:, None] + g[None, :] - cross * self._overlap[np.ix_(free, free)]
+        pair_gains[np.tril_indices(free.size)] = _NEG_INF
+        flat = int(np.argmax(pair_gains))
+        i, j = divmod(flat, free.size)
+        if not pair_gains[i, j] > _GAIN_TOL:
+            return None
+        return int(free[i]), int(free[j])
+
+    # ---- decoding -------------------------------------------------------------
+    def decode(
+        self,
+        ys: np.ndarray,
+        init: np.ndarray,
+        frozen: Optional[np.ndarray] = None,
+    ) -> BatchedDecodeOutcome:
+        """Decode all M positions from a warm start.
+
+        Parameters
+        ----------
+        ys:
+            ``(L, M)`` received symbols — column *m* is position *m*'s.
+        init:
+            ``(K, M)`` starting estimates (the rateless loop's previous
+            round, or random draws for a restart batch).
+        frozen:
+            ``(K,)`` boolean mask of bits that must not flip in any
+            position (CRC-passed messages); values come from ``init``.
+        """
+        ys = np.asarray(ys, dtype=complex)
+        if ys.ndim != 2 or ys.shape[0] != self.n_slots:
+            raise ValueError(f"ys must be (L={self.n_slots}, M), got {ys.shape}")
+        m = ys.shape[1]
+        bits = np.asarray(init, dtype=np.uint8).copy()
+        if bits.shape != (self.k, m):
+            raise ValueError(f"init must be (K={self.k}, {m}), got {bits.shape}")
+        frozen_mask = (
+            np.zeros(self.k, dtype=bool)
+            if frozen is None
+            else np.asarray(frozen, dtype=bool).copy()
+        )
+        if frozen_mask.size != self.k:
+            raise ValueError("frozen mask length mismatch")
+
+        residual = ys - self._signal @ bits.astype(float)
+        flips = np.zeros(m, dtype=int)
+        active = np.ones(m, dtype=bool)
+        if m == 0:
+            return BatchedDecodeOutcome(
+                bits=bits, flips=flips, converged=active.copy(),
+                residual_norms=np.zeros(0),
+            )
+
+        while True:
+            # The per-position loop checks the flip budget *before* looking
+            # at gains, so a column at its budget retires unconverged here
+            # too, without a final gain pass.
+            active &= flips < self.max_flips
+            cols = np.flatnonzero(active)
+            if cols.size == 0:
+                break
+            sub_bits = bits[:, cols].astype(float)
+            delta = self.h[:, None] * (1.0 - 2.0 * sub_bits)  # (K, m_act)
+            corr = self._dT @ np.conj(residual[:, cols])  # the one matmul
+            gains = 2.0 * np.real(delta * corr) - self._weights[:, None] * np.abs(delta) ** 2
+            gains[frozen_mask, :] = _NEG_INF
+            best = np.argmax(gains, axis=0)  # (m_act,)
+            best_gain = gains[best, np.arange(cols.size)]
+            flippable = np.isfinite(best_gain) & (best_gain > _GAIN_TOL)
+
+            # Stalled columns: scan joint pair flips (the near-degenerate
+            # channel escape) before freezing the column.
+            for j in np.flatnonzero(~flippable):
+                col = int(cols[j])
+                pair = self._best_pair_flip(gains[:, j], delta[:, j], frozen_mask)
+                if pair is None:
+                    active[col] = False
+                    continue
+                for idx in pair:
+                    d_col = self.h[idx] * (1.0 - 2.0 * float(bits[idx, col]))
+                    residual[self.d[:, idx].astype(bool), col] -= d_col
+                    bits[idx, col] ^= 1
+                flips[col] += 1
+
+            # Batched single flips: every still-flippable column flips its
+            # argmax bit; the residual update is one fancy-indexed subtract.
+            sel = np.flatnonzero(flippable)
+            if sel.size:
+                fcols = cols[sel]
+                fbits = best[sel]
+                fdelta = delta[fbits, sel]  # (n_flip,)
+                residual[:, fcols] -= self._d_f[:, fbits] * fdelta[None, :]
+                bits[fbits, fcols] ^= 1
+                flips[fcols] += 1
+
+        norms = np.sqrt(np.sum(np.abs(residual) ** 2, axis=0))
+        return BatchedDecodeOutcome(
+            bits=bits,
+            flips=flips,
+            converged=flips < self.max_flips,
+            residual_norms=norms,
+        )
+
+    def decode_best_of(
+        self,
+        ys: np.ndarray,
+        restarts: int,
+        rng: np.random.Generator,
+        init: np.ndarray,
+        frozen: Optional[np.ndarray] = None,
+    ) -> BatchedDecodeOutcome:
+        """Batched warm start plus ``restarts`` random retries per position.
+
+        Reproduces :meth:`BitFlipDecoder.decode_best_of` run position by
+        position with a shared ``rng`` — including its draw order (position-
+        major: all of position 0's restart inits before position 1's) and
+        its early stop once a position's best residual is exact. The common
+        case draws every restart init up front and decodes all trials as
+        one batch; if any position *would* have stopped early (an exact
+        decode mid-restarts, essentially only on noiseless inputs), the
+        generator state is rewound and that draw-interleaving is replayed
+        sequentially instead.
+        """
+        warm = self.decode(ys, init=init, frozen=frozen)
+        n_restarts = max(0, restarts)
+        if n_restarts == 0:
+            return warm
+        init = np.asarray(init, dtype=np.uint8)
+        frozen_mask = (
+            np.zeros(self.k, dtype=bool)
+            if frozen is None
+            else np.asarray(frozen, dtype=bool)
+        )
+        need = np.flatnonzero(warm.residual_norms > _RESIDUAL_EXACT)
+        if need.size == 0:
+            return warm
+
+        state = rng.bit_generator.state
+        # Position-major block draw — identical stream consumption to R
+        # successive rng.random(K) calls per needed position.
+        draws = rng.random((need.size, n_restarts, self.k)) < 0.5
+        trial_init = (
+            draws.transpose(2, 0, 1).reshape(self.k, need.size * n_restarts)
+        ).astype(np.uint8)
+        trial_cols = np.repeat(need, n_restarts)
+        trial_init[frozen_mask, :] = init[np.ix_(frozen_mask, trial_cols)]
+        trials = self.decode(ys[:, trial_cols], init=trial_init, frozen=frozen_mask)
+        trial_norms = trials.residual_norms.reshape(need.size, n_restarts)
+
+        # Validate the optimistic draw: had any position reached an exact
+        # residual before its last trial, later draws would not have
+        # happened and every subsequent position's inits shift.
+        running = np.minimum.accumulate(
+            np.column_stack([warm.residual_norms[need], trial_norms]), axis=1
+        )
+        if np.any(running[:, 1:-1] <= _RESIDUAL_EXACT):
+            rng.bit_generator.state = state
+            return self._decode_best_of_sequential(
+                ys, n_restarts, rng, init, frozen_mask, warm
+            )
+
+        best = warm
+        # Winner per position: strictly-smaller residual replaces, earlier
+        # trial wins ties — the per-position comparison order.
+        for row, m in enumerate(need):
+            best_norm = warm.residual_norms[m]
+            winner = -1
+            for r in range(n_restarts):
+                if trial_norms[row, r] < best_norm:
+                    best_norm = trial_norms[row, r]
+                    winner = r
+            if winner >= 0:
+                t = row * n_restarts + winner
+                best.bits[:, m] = trials.bits[:, t]
+                best.flips[m] = trials.flips[t]
+                best.converged[m] = trials.converged[t]
+                best.residual_norms[m] = trials.residual_norms[t]
+        return best
+
+    def _decode_best_of_sequential(
+        self,
+        ys: np.ndarray,
+        n_restarts: int,
+        rng: np.random.Generator,
+        init: np.ndarray,
+        frozen_mask: np.ndarray,
+        warm: BatchedDecodeOutcome,
+    ) -> BatchedDecodeOutcome:
+        """Exact replay of the per-position restart loop (rare path)."""
+        best = warm
+        for m in range(ys.shape[1]):
+            best_norm = best.residual_norms[m]
+            for _ in range(n_restarts):
+                if best_norm <= _RESIDUAL_EXACT:
+                    break
+                trial_init = (rng.random(self.k) < 0.5).astype(np.uint8)
+                trial_init[frozen_mask] = init[frozen_mask, m]
+                trial = self.decode(
+                    ys[:, m : m + 1], init=trial_init[:, None], frozen=frozen_mask
+                )
+                if trial.residual_norms[0] < best_norm:
+                    best_norm = trial.residual_norms[0]
+                    best.bits[:, m] = trial.bits[:, 0]
+                    best.flips[m] = trial.flips[0]
+                    best.converged[m] = trial.converged[0]
+                    best.residual_norms[m] = trial.residual_norms[0]
         return best

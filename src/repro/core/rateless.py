@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.coding.crc import CRC5_GEN2, CrcSpec, crc_check
 from repro.coding.prng import slot_decision_matrix
-from repro.core.bp_decoder import BitFlipDecoder
+from repro.core.bp_decoder import BatchedBitFlipDecoder
 from repro.core.config import BuzzConfig
 from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
 from repro.nodes.reader import ReaderFrontEnd
@@ -158,28 +158,43 @@ class RatelessDecoder:
         return slot_decision_matrix(self.seeds, slots, self.density, salt=SALT_DATA)
 
     # ---- decoding --------------------------------------------------------------
-    def add_slot(self, symbols: np.ndarray, slot: Optional[int] = None) -> None:
+    def add_slot(
+        self,
+        symbols: np.ndarray,
+        slot: Optional[int] = None,
+        row: Optional[np.ndarray] = None,
+    ) -> None:
         """Ingest one slot's received symbols (length P).
 
         ``slot`` defaults to the next index; the reader regenerates the
         corresponding D row itself — nothing about the row is signalled.
+        ``row`` overrides that regeneration with reader-side knowledge of a
+        modified schedule (e.g. the silencing variant masks out ACKed tags,
+        whom the reader knows will stay quiet).
         """
         symbols = np.asarray(symbols, dtype=complex).ravel()
         if symbols.size != self.p:
             raise ValueError(f"expected {self.p} symbols per slot, got {symbols.size}")
-        index = self.slots_collected if slot is None else int(slot)
-        self._rows.append(self._regenerated_row(index))
+        if row is None:
+            index = self.slots_collected if slot is None else int(slot)
+            row = self._regenerated_row(index)
+        else:
+            row = np.asarray(row, dtype=np.uint8).ravel()
+            if row.size != self.k:
+                raise ValueError(f"expected a D row of length {self.k}, got {row.size}")
+        self._rows.append(row)
         self._symbols.append(symbols)
 
-    #: Slots regenerated per batched D-row refill.
-    _ROW_BLOCK = 64
+    #: Slots regenerated per batched D-row refill; drivers that batch their
+    #: own tag-side draws (the plain and silencing loops) reuse this size.
+    ROW_BLOCK = 64
 
     def _regenerated_row(self, index: int) -> np.ndarray:
         """D row for ``index``, served from a block-regenerated cache."""
         offset = index - self._row_block_start
         if not 0 <= offset < self._row_block.shape[0]:
             self.prime_row_cache(
-                index, self.expected_rows(range(index, index + self._ROW_BLOCK))
+                index, self.expected_rows(range(index, index + self.ROW_BLOCK))
             )
             offset = 0
         return self._row_block[offset].copy()
@@ -195,11 +210,14 @@ class RatelessDecoder:
         self._row_block = np.ascontiguousarray(rows, dtype=np.uint8)
 
     def try_decode(self) -> DecodeProgress:
-        """Run BP across all positions with everything collected so far.
+        """Run the batched BP kernel over all positions at once.
 
-        Per position: warm-start from the previous estimate, flip to a local
-        optimum (with a couple of random restarts while the residual is
-        poor), then CRC-check whole messages and freeze the passers.
+        All P positions share D and ĥ, so one
+        :class:`~repro.core.bp_decoder.BatchedBitFlipDecoder` call per
+        round warm-starts every column from the previous estimate, flips
+        to per-column local optima (with random restarts while a column's
+        residual is poor), then CRC-checks whole messages and freezes the
+        passers — replacing the former P independent per-position decodes.
         """
         if not self._rows:
             snapshot = DecodeProgress(slot=0, newly_decoded=0, total_decoded=0)
@@ -207,23 +225,21 @@ class RatelessDecoder:
             return snapshot
         d = np.stack(self._rows)
         y = np.stack(self._symbols)  # (L, P)
-        decoder = BitFlipDecoder(d, self.h, max_flips=self.config.bp_max_flips)
+        kernel = BatchedBitFlipDecoder(d, self.h, max_flips=self.config.bp_max_flips)
 
         # BP + verify to a fixpoint: each freeze pins bits that may unlock
         # further flips and further freezes — the paper's ripple effect,
         # realised within a single slot arrival.
         before = int(self._decoded.sum())
         for _ in range(4):
-            frozen = self._decoded
-            for pos in range(self.p):
-                outcome = decoder.decode_best_of(
-                    y[:, pos],
-                    restarts=self._bp_restarts,
-                    rng=self.rng,
-                    init=self._estimates[:, pos],
-                    frozen=frozen,
-                )
-                self._estimates[:, pos] = outcome.bits
+            outcome = kernel.decode_best_of(
+                y,
+                restarts=self._bp_restarts,
+                rng=self.rng,
+                init=self._estimates,
+                frozen=self._decoded,
+            )
+            self._estimates = outcome.bits
             if self.crc is None:
                 break
             frozen_before_pass = int(self._decoded.sum())
@@ -457,7 +473,7 @@ def run_rateless_uplink(
         if t.temp_id is None:
             raise RuntimeError("tag has no temporary id yet")
     tag_seeds = [t.temp_id for t in tags]
-    block_size = min(limit, RatelessDecoder._ROW_BLOCK)
+    block_size = min(limit, RatelessDecoder.ROW_BLOCK)
 
     decoder = RatelessDecoder(
         seeds=tag_seeds,

@@ -16,7 +16,10 @@ trade-off can be measured rather than asserted:
 
 The ablation bench compares total transfer time and per-tag transmissions
 with and without silencing, reproducing the paper's conclusion that the
-ACK overhead outweighs the benefit at these message sizes.
+ACK overhead outweighs the benefit at these message sizes. The variant is
+also registered as the ``silenced`` scheme in :mod:`repro.engine.schemes`,
+so any campaign, figure driver, or ``python -m repro --schemes silenced``
+invocation can sweep it alongside the paper's three schemes.
 """
 
 from __future__ import annotations
@@ -27,11 +30,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.coding.crc import CRC5_GEN2, CrcSpec
+from repro.coding.prng import slot_decision_matrix
 from repro.core.config import BuzzConfig
 from repro.core.rateless import DecodeProgress, RatelessDecoder
 from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
 from repro.nodes.reader import ReaderFrontEnd
-from repro.nodes.tag import BackscatterTag
+from repro.nodes.tag import SALT_DATA, BackscatterTag
 
 __all__ = ["SilencedRunResult", "run_rateless_with_silencing", "ack_duration_s"]
 
@@ -124,26 +128,32 @@ def run_rateless_with_silencing(
         noise_std=front_end.noise_std,
     )
 
+    # Tag-side transmit draws, batched exactly like the plain driver's:
+    # the unmasked schedule is a pure function of (temp_id, slot), so a
+    # block regenerates in one vectorized pass and the dynamic silencing
+    # mask is applied per slot at use time.
+    tag_seeds = [t.temp_id for t in tags]
+    block_size = min(limit, RatelessDecoder.ROW_BLOCK)
+
     transmissions = np.zeros(k, dtype=int)
     silenced = np.zeros(k, dtype=bool)
     ack_overhead = 0.0
+    unmasked_rows = np.zeros((0, k), dtype=np.uint8)
+    block_start = 0
     slot = 0
     while slot < limit:
-        row = np.array(
-            [
-                0 if silenced[i] else (1 if t.data_transmits(slot, density) else 0)
-                for i, t in enumerate(tags)
-            ],
-            dtype=np.uint8,
-        )
+        offset = slot - block_start
+        if not offset < unmasked_rows.shape[0]:
+            block_start, offset = slot, 0
+            block = range(slot, min(slot + block_size, limit))
+            unmasked_rows = slot_decision_matrix(tag_seeds, block, density, salt=SALT_DATA)
+        row = unmasked_rows[offset] * (~silenced).astype(np.uint8)
         transmissions += row
         tx_per_position = (messages * row[:, None]).T
         symbols = front_end.observe(tx_per_position, channels, rng)
-        # The reader knows the silenced set, so it regenerates the same
-        # masked row; RatelessDecoder's expected_row is unmasked, so patch
-        # the row in directly (reader-side knowledge, not signalling).
-        decoder._rows.append(row)
-        decoder._symbols.append(np.asarray(symbols, dtype=complex))
+        # The reader knows exactly whom it ACKed, so it reconstructs the
+        # same masked row — reader-side knowledge, not signalling.
+        decoder.add_slot(symbols, slot, row=row)
         slot += 1
 
         progress = decoder.try_decode()

@@ -5,17 +5,20 @@
 * :mod:`repro.engine.schemes` — the :class:`~repro.engine.schemes.
   UplinkScheme` protocol, the :class:`~repro.engine.schemes.SchemeResult`
   record, and a registry holding the paper's three schemes (``buzz``,
-  ``tdma``, ``cdma``);
+  ``tdma``, ``cdma``) plus the §8.2 ``silenced`` variant;
 * :mod:`repro.engine.campaign` — the declarative
   :class:`~repro.engine.campaign.CampaignSpec` grid and its deterministic
   cell evaluator;
 * :mod:`repro.engine.executors` — serial and process-pool backends, both
-  bit-identical for the same root seed.
+  bit-identical for the same root seed;
+* :mod:`repro.engine.cache` — content-addressed per-cell result cache, so
+  re-running a campaign with ``cache_dir`` set only executes new cells.
 
 The classic entry point :func:`repro.network.campaign.run_campaign` is a
 thin wrapper over this package.
 """
 
+from repro.engine.cache import CampaignCache
 from repro.engine.campaign import (
     SCHEMES,
     CampaignCell,
@@ -29,6 +32,7 @@ from repro.engine.schemes import (
     CdmaScheme,
     RatelessScheme,
     SchemeResult,
+    SilencedScheme,
     TdmaScheme,
     UplinkScheme,
     available_schemes,
@@ -38,6 +42,7 @@ from repro.engine.schemes import (
 
 __all__ = [
     "SCHEMES",
+    "CampaignCache",
     "CampaignCell",
     "CampaignResult",
     "CampaignSpec",
@@ -45,6 +50,7 @@ __all__ = [
     "RatelessScheme",
     "SchemeResult",
     "SchemeRun",
+    "SilencedScheme",
     "TdmaScheme",
     "UplinkScheme",
     "available_schemes",

@@ -1,0 +1,123 @@
+"""Content-addressed per-cell campaign result cache.
+
+A campaign cell is a pure function of ``(root_seed, cell RNG keys,
+scenario, config, max_slots)`` — the determinism contract
+:mod:`repro.engine.campaign` already guarantees for executor parity. That
+makes its :class:`~repro.engine.campaign.SchemeRun` cacheable by content
+address: hash the inputs, store the record as JSON, and a re-run of the
+same spec (or any spec sharing cells with it) loads instead of executing.
+
+The cache is a plain directory of small JSON files, sharded by hash
+prefix. Writes are atomic (temp file + rename), so concurrent campaigns
+can share a cache directory; corrupt or foreign files are treated as
+misses, never errors.
+
+**The key covers a cell's data inputs, not the code that evaluates it.**
+Scheme names stand in for scheme implementations, so editing a scheme,
+the decoder, or the PHY between runs serves results computed by the old
+code. Delete the cache directory (or point at a fresh one) after any
+change to the simulation code; ``_CACHE_FORMAT`` is bumped when the key
+material or record layout itself changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine.campaign import CampaignCell, CampaignSpec, SchemeRun
+
+__all__ = ["CampaignCache", "cell_cache_key"]
+
+#: Bump when the key material or record layout changes incompatibly.
+_CACHE_FORMAT = 1
+
+
+def _scenario_token(scenario) -> dict:
+    """JSON-able identity of a scenario (prefers its own ``cache_token``)."""
+    token = getattr(scenario, "cache_token", None)
+    if callable(token):
+        return token()
+    return dataclasses.asdict(scenario)
+
+
+def cell_cache_key(spec: "CampaignSpec", cell: "CampaignCell") -> str:
+    """Content address of one cell: sha256 over every input it consumes.
+
+    Covers the root seed, the exact RNG stream keys the cell derives its
+    randomness from (location stream + run stream), the scenario, the
+    config variant, and the slot bound — the full closure of
+    :func:`repro.engine.campaign.run_cell`.
+    """
+    from repro.engine.campaign import _cell_rng_keys
+
+    material = {
+        "format": _CACHE_FORMAT,
+        "root_seed": spec.root_seed,
+        "location_keys": ["location", cell.location],
+        "run_keys": list(_cell_rng_keys(spec, cell)),
+        "scheme": cell.scheme,
+        "scenario": _scenario_token(spec.scenario),
+        "config": dataclasses.asdict(spec.configs[cell.variant]),
+        "max_slots": spec.max_slots,
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CampaignCache:
+    """Directory-backed cache of campaign cell results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first use. Safe to share between
+        campaigns, specs, and concurrent processes.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, spec: "CampaignSpec", cell: "CampaignCell") -> Optional["SchemeRun"]:
+        """Return the cached run for this cell, or ``None`` on a miss."""
+        from repro.engine.campaign import SchemeRun
+
+        path = self._path(cell_cache_key(spec, cell))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != _CACHE_FORMAT:
+            return None
+        try:
+            return SchemeRun.from_dict(payload["run"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, spec: "CampaignSpec", cell: "CampaignCell", run: "SchemeRun") -> None:
+        """Persist one cell's run atomically (temp file + rename)."""
+        key = cell_cache_key(spec, cell)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": _CACHE_FORMAT, "key": key, "run": run.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -18,8 +18,10 @@ reproduce the pre-engine serial loop exactly.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from functools import partial
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -84,6 +86,39 @@ class SchemeRun:
             transmissions=result.transmissions,
             bit_errors=result.bit_errors,
             variant=cell.variant,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able record; floats round-trip exactly through ``repr``."""
+        return {
+            "scheme": self.scheme,
+            "location": int(self.location),
+            "trace": int(self.trace),
+            "duration_s": float(self.duration_s),
+            "message_loss": int(self.message_loss),
+            "n_tags": int(self.n_tags),
+            "bits_per_symbol": float(self.bits_per_symbol),
+            "slots_used": int(self.slots_used),
+            "transmissions": [int(t) for t in self.transmissions],
+            "bit_errors": int(self.bit_errors),
+            "variant": int(self.variant),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchemeRun":
+        """Inverse of :meth:`to_dict` (transmissions back to an int array)."""
+        return cls(
+            scheme=str(data["scheme"]),
+            location=int(data["location"]),
+            trace=int(data["trace"]),
+            duration_s=float(data["duration_s"]),
+            message_loss=int(data["message_loss"]),
+            n_tags=int(data["n_tags"]),
+            bits_per_symbol=float(data["bits_per_symbol"]),
+            slots_used=int(data["slots_used"]),
+            transmissions=np.asarray(data["transmissions"], dtype=int),
+            bit_errors=int(data["bit_errors"]),
+            variant=int(data.get("variant", 0)),
         )
 
 
@@ -168,24 +203,68 @@ class CampaignResult:
             raise ValueError(f"unknown scheme {scheme!r}")
         return [r for r in self.runs if r.scheme == scheme]
 
-    def mean_duration_s(self, scheme: str) -> float:
+    def _runs_for_aggregate(self, scheme: str) -> List[SchemeRun]:
+        """Runs for ``scheme``, refusing to aggregate over nothing.
+
+        A registered scheme with zero recorded runs would otherwise feed
+        ``np.mean``/``np.median`` an empty list — a silent ``nan`` plus a
+        RuntimeWarning instead of an actionable error.
+        """
         runs = self.by_scheme(scheme)
+        if not runs:
+            raise ValueError(
+                f"no runs recorded for scheme {scheme!r} in this campaign "
+                f"(it was not in the spec's scheme set)"
+            )
+        return runs
+
+    def mean_duration_s(self, scheme: str) -> float:
+        runs = self._runs_for_aggregate(scheme)
         return float(np.mean([r.duration_s for r in runs]))
 
     def total_loss(self, scheme: str) -> int:
-        return int(sum(r.message_loss for r in self.by_scheme(scheme)))
+        return int(sum(r.message_loss for r in self._runs_for_aggregate(scheme)))
 
     def mean_loss_per_run(self, scheme: str) -> float:
-        runs = self.by_scheme(scheme)
+        runs = self._runs_for_aggregate(scheme)
         return float(np.mean([r.message_loss for r in runs]))
 
     def median_loss_fraction(self, scheme: str) -> float:
-        runs = self.by_scheme(scheme)
+        runs = self._runs_for_aggregate(scheme)
         return float(np.median([r.message_loss / r.n_tags for r in runs]))
 
     def mean_rate(self, scheme: str) -> float:
-        runs = self.by_scheme(scheme)
+        runs = self._runs_for_aggregate(scheme)
         return float(np.mean([r.bits_per_symbol for r in runs]))
+
+    # ---- persistence ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "scenario_name": self.scenario_name,
+            "runs": [r.to_dict() for r in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            scenario_name=str(data["scenario_name"]),
+            runs=[SchemeRun.from_dict(r) for r in data["runs"]],
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise the full result; floats survive the round trip exactly."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path) -> "CampaignResult":
+        return cls.from_json(Path(path).read_text())
 
 
 def _cell_rng_keys(spec: CampaignSpec, cell: CampaignCell) -> tuple:
@@ -233,20 +312,45 @@ def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
     mp_context: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Execute a campaign spec and collect its records in grid order.
 
     ``jobs=1`` runs in-process; ``jobs>1`` fans the cells out over a
     process pool. Both orderings and all record contents are bit-identical
     for the same spec (see module docstring).
+
+    ``cache_dir`` names a :class:`~repro.engine.cache.CampaignCache`
+    directory: cells whose content address is already stored load from
+    JSON instead of executing, and freshly executed cells are stored for
+    the next run. A repeat invocation of the same spec therefore executes
+    zero cells and reproduces the identical result.
     """
+    from repro.engine.cache import CampaignCache
+
     cells = list(spec.cells())
+    cache = CampaignCache(cache_dir) if cache_dir is not None else None
+    results: List[Optional[SchemeRun]] = [None] * len(cells)
+    pending_idx = list(range(len(cells)))
+    if cache is not None:
+        pending_idx = []
+        for i, cell in enumerate(cells):
+            hit = cache.load(spec, cell)
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending_idx.append(i)
+    pending = [cells[i] for i in pending_idx]
     # Resolve the schemes in *this* process and ship the objects with the
     # task — a spawned worker's registry only holds the built-ins.
     schemes = {name: get_scheme(name) for name in spec.schemes}
     task = partial(_run_cell_with_schemes, spec, schemes)
     if jobs == 1:
-        runs = run_serial(task, cells)
+        runs = run_serial(task, pending)
     else:
-        runs = run_process_pool(task, cells, jobs=jobs, mp_context=mp_context)
-    return CampaignResult(scenario_name=spec.scenario.name, runs=runs)
+        runs = run_process_pool(task, pending, jobs=jobs, mp_context=mp_context)
+    for i, run in zip(pending_idx, runs):
+        results[i] = run
+        if cache is not None:
+            cache.store(spec, cells[i], run)
+    return CampaignResult(scenario_name=spec.scenario.name, runs=results)

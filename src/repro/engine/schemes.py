@@ -20,6 +20,7 @@ from repro.baselines.cdma import run_cdma_uplink
 from repro.baselines.tdma import run_tdma_uplink
 from repro.core.config import BuzzConfig
 from repro.core.rateless import run_rateless_uplink
+from repro.core.silencing import run_rateless_with_silencing
 from repro.nodes.population import TagPopulation
 from repro.nodes.reader import ReaderFrontEnd
 
@@ -27,6 +28,7 @@ __all__ = [
     "SchemeResult",
     "UplinkScheme",
     "RatelessScheme",
+    "SilencedScheme",
     "TdmaScheme",
     "CdmaScheme",
     "register_scheme",
@@ -115,6 +117,51 @@ class RatelessScheme:
             tag.draw_temp_id(id_space, rng)
         run = run_rateless_uplink(
             population.tags, front_end, rng, config=config, max_slots=max_slots
+        )
+        return SchemeResult(
+            scheme=self.name,
+            duration_s=run.duration_s,
+            message_loss=run.message_loss,
+            n_tags=n,
+            bits_per_symbol=run.bits_per_symbol(),
+            slots_used=run.slots_used,
+            transmissions=run.transmissions.copy(),
+            bit_errors=run.bit_errors,
+        )
+
+
+class SilencedScheme:
+    """The §8.2 design alternative: rateless code with ACK silencing.
+
+    Same data phase as :class:`RatelessScheme`, but after each decode round
+    the reader ACKs every newly verified tag (echoing its temporary id at
+    downlink rate) and ACKed tags drop out of later slots. The ACK airtime
+    is folded into ``duration_s``, so campaign comparisons price the
+    paper's trade-off — silencing saves per-tag transmissions (energy) but
+    the downlink overhead erodes the transfer-time win.
+    """
+
+    name = "silenced"
+
+    def run(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+    ) -> SchemeResult:
+        n = len(population)
+        id_space = 10 * n * n
+        for tag in population.tags:
+            tag.draw_temp_id(id_space, rng)
+        run = run_rateless_with_silencing(
+            population.tags,
+            front_end,
+            rng,
+            config=config,
+            max_slots=max_slots,
+            id_space=id_space,
         )
         return SchemeResult(
             scheme=self.name,
@@ -217,3 +264,4 @@ def available_schemes() -> Tuple[str, ...]:
 register_scheme(RatelessScheme())
 register_scheme(TdmaScheme())
 register_scheme(CdmaScheme())
+register_scheme(SilencedScheme())

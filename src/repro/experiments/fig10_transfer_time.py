@@ -59,6 +59,7 @@ def run(
     schemes: Sequence[str] = SCHEMES,
     scenario: ScenarioLike = None,
     jobs: int = 1,
+    cache_dir: str = None,
 ) -> TransferTimeResult:
     """Run the Fig. 10 campaign across K."""
     factory = resolve_scenario_factory(scenario, default_uplink_scenario)
@@ -71,6 +72,7 @@ def run(
             n_traces=n_traces,
             schemes=schemes,
             jobs=jobs,
+            cache_dir=cache_dir,
         )
         metrics[k] = {
             scheme: uplink_metrics_from_runs(scheme, campaign.by_scheme(scheme))

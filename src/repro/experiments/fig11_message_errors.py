@@ -53,6 +53,7 @@ def run(
     schemes: Sequence[str] = SCHEMES,
     scenario: ScenarioLike = None,
     jobs: int = 1,
+    cache_dir: str = None,
 ) -> MessageErrorResult:
     """Run the Fig. 11 campaign across K."""
     factory = resolve_scenario_factory(scenario, error_scenario)
@@ -65,6 +66,7 @@ def run(
             n_traces=n_traces,
             schemes=schemes,
             jobs=jobs,
+            cache_dir=cache_dir,
         )
         metrics[k] = {
             scheme: uplink_metrics_from_runs(scheme, campaign.by_scheme(scheme))
@@ -83,7 +85,7 @@ def render(result: MessageErrorResult) -> str:
     table = format_table(
         ["K"] + [f"{s.upper()} undecoded" for s in result.schemes], rows
     )
-    if set(result.schemes) < {"buzz", "tdma", "cdma"}:
+    if not {"buzz", "tdma", "cdma"} <= set(result.schemes):
         return table  # the paper's claim is about the full comparison
     summary = (
         "\nFig. 11 reproduction (paper: Buzz = 0 for all K; TDMA small; "

@@ -44,6 +44,7 @@ def run(
     n_traces: int = 3,
     seed: int = 12,
     jobs: int = 1,
+    cache_dir: str = None,
 ) -> ChallengingResult:
     """Sweep the Fig. 12 SNR bands (``jobs`` parallelises each campaign)."""
     buzz_dec, tdma_dec, cdma_dec = [], [], []
@@ -56,6 +57,7 @@ def run(
             n_locations=n_locations,
             n_traces=n_traces,
             jobs=jobs,
+            cache_dir=cache_dir,
         )
         per = {
             s: uplink_metrics_from_runs(s, campaign.by_scheme(s))

@@ -42,12 +42,14 @@ def run(
     n_traces: int = 3,
     seed: int = 15,
     jobs: int = 1,
+    cache_dir: str = None,
 ) -> HeadlineResult:
     """Compose the headline from the two sub-experiments.
 
     Baseline = FSA identification + TDMA data transfer (the Gen-2 way);
     Buzz = CS identification + rateless data transfer. ``jobs``
-    parallelises the transfer campaigns.
+    parallelises the transfer campaigns; ``cache_dir`` re-uses their
+    cached cells.
     """
     transfer = fig10_transfer_time.run(
         tag_counts=tag_counts,
@@ -55,6 +57,7 @@ def run(
         n_traces=n_traces,
         seed=seed,
         jobs=jobs,
+        cache_dir=cache_dir,
     )
     ident = fig14_identification.run(
         tag_counts=tag_counts, n_locations=n_locations, seed=seed + 1

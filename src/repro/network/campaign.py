@@ -38,6 +38,7 @@ def run_campaign(
     config: Optional[BuzzConfig] = None,
     max_slots: Optional[int] = None,
     jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Run the paper's location × trace × scheme grid.
 
@@ -49,6 +50,8 @@ def run_campaign(
 
     ``jobs > 1`` evaluates the grid on a process pool; results are
     bit-identical to the serial run for the same ``root_seed``.
+    ``cache_dir`` enables the engine's per-cell result cache — repeat runs
+    load their cells from JSON instead of executing them.
     """
     spec = CampaignSpec(
         scenario=scenario,
@@ -59,4 +62,4 @@ def run_campaign(
         configs=(config if config is not None else BuzzConfig(),),
         max_slots=max_slots,
     )
-    return _run_spec(spec, jobs=jobs)
+    return _run_spec(spec, jobs=jobs, cache_dir=cache_dir)

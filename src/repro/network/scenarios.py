@@ -83,6 +83,20 @@ class Scenario:
     message_bits: int = 32
     snr_band_db: Optional[Tuple[float, float]] = None
 
+    def cache_token(self) -> dict:
+        """Stable, JSON-able identity for campaign result caching.
+
+        Everything that shapes a population draw is included — name alone
+        would alias scenarios that share a label but differ in channel
+        statistics or payload size.
+        """
+        from dataclasses import asdict
+
+        token = asdict(self)
+        if token.get("snr_band_db") is not None:
+            token["snr_band_db"] = list(token["snr_band_db"])
+        return token
+
     def draw_population(self, rng: np.random.Generator, with_energy: bool = False,
                         initial_voltage_v: float = 3.0) -> TagPopulation:
         """Draw one location: channels + fresh messages for every tag."""

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.bp_decoder import BitFlipDecoder
+from repro.core.bp_decoder import BatchedBitFlipDecoder, BitFlipDecoder
 
 
 def _random_instance(rng, k=8, n_slots=14, density=0.4, noise=0.01):
@@ -124,6 +124,197 @@ class TestDecode:
             flipped[i] ^= 1
             alt_error = np.linalg.norm((d * h) @ flipped - y) ** 2
             assert alt_error >= final_error - 1e-9
+
+
+class TestDecodeBestOf:
+    def test_exact_warm_start_skips_restarts(self):
+        """A warm start that already explains y exactly must not consume
+        the generator at all — the restart loop breaks before drawing."""
+        rng = np.random.default_rng(10)
+        d, h, bits, y = _random_instance(rng, noise=0.0)
+        probe = np.random.default_rng(123)
+        before = probe.bit_generator.state["state"]["state"]
+        outcome = BitFlipDecoder(d, h).decode_best_of(y, restarts=5, rng=probe, init=bits)
+        after = probe.bit_generator.state["state"]["state"]
+        assert np.array_equal(outcome.bits, bits)
+        assert outcome.flips == 0
+        assert before == after
+
+    def test_restarts_consume_rng_when_residual_poor(self):
+        """With noise the residual never reaches the exact threshold, so
+        every restart draws one (K,) init from the shared generator."""
+        rng = np.random.default_rng(11)
+        d, h, bits, y = _random_instance(rng)
+        reference = np.random.default_rng(55)
+        reference.random(8 * 3)  # what three restarts consume
+        expected_next = reference.random()
+        probe = np.random.default_rng(55)
+        BitFlipDecoder(d, h).decode_best_of(y, restarts=3, rng=probe, init=bits)
+        assert probe.random() == expected_next
+
+    def test_restart_escapes_bad_warm_start(self):
+        """A warm start stuck in a local minimum must be beaten by some
+        random restart on a well-conditioned instance."""
+        rng = np.random.default_rng(12)
+        d, h, bits, y = _random_instance(rng, noise=0.0)
+        dec = BitFlipDecoder(d, h)
+        bad = bits ^ 1  # all-flipped start
+        warm_only = dec.decode(y, init=bad)
+        restarted = dec.decode_best_of(y, restarts=8, rng=np.random.default_rng(0), init=bad)
+        assert restarted.residual_norm <= warm_only.residual_norm
+        assert restarted.residual_norm < 1e-9
+
+    def test_restarts_preserve_frozen_values(self):
+        """Random restart inits must keep CRC-frozen bits at their pinned
+        values — even deliberately wrong ones."""
+        rng = np.random.default_rng(13)
+        d, h, bits, y = _random_instance(rng)
+        wrong = bits.copy()
+        wrong[2] ^= 1
+        frozen = np.zeros(8, dtype=bool)
+        frozen[2] = True
+        outcome = BitFlipDecoder(d, h).decode_best_of(
+            y, restarts=6, rng=np.random.default_rng(1), init=wrong, frozen=frozen
+        )
+        assert outcome.bits[2] == wrong[2]
+
+    def test_zero_restarts_is_plain_decode(self):
+        rng = np.random.default_rng(14)
+        d, h, bits, y = _random_instance(rng)
+        init = (rng.random(8) < 0.5).astype(np.uint8)
+        plain = BitFlipDecoder(d, h).decode(y, init=init)
+        best = BitFlipDecoder(d, h).decode_best_of(
+            y, restarts=0, rng=np.random.default_rng(2), init=init
+        )
+        assert np.array_equal(plain.bits, best.bits)
+        assert plain.residual_norm == best.residual_norm
+
+
+def _batch_instance(rng, k=10, n_slots=16, p=8, density=0.35, noise=0.1):
+    h = rng.standard_normal(k) + 1j * rng.standard_normal(k)
+    h += np.sign(h.real) * 0.5
+    d = (rng.random((n_slots, k)) < density).astype(np.uint8)
+    truth = (rng.random((k, p)) < 0.5).astype(np.uint8)
+    ys = (d * h) @ truth.astype(float) + noise * (
+        rng.standard_normal((n_slots, p)) + 1j * rng.standard_normal((n_slots, p))
+    )
+    init = (rng.random((k, p)) < 0.5).astype(np.uint8)
+    return d, h, truth, ys, init
+
+
+class TestBatchedDecoder:
+    """The batched kernel must be a drop-in for M per-position decodes."""
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            BatchedBitFlipDecoder(np.ones((3, 4), dtype=np.uint8), np.ones(3))
+
+    def test_ys_shape_validated(self):
+        dec = BatchedBitFlipDecoder(np.ones((3, 2), dtype=np.uint8), np.ones(2))
+        with pytest.raises(ValueError):
+            dec.decode(np.zeros((4, 5), dtype=complex), init=np.zeros((2, 5), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            dec.decode(np.zeros((3, 5), dtype=complex), init=np.zeros((2, 4), dtype=np.uint8))
+
+    def test_recovers_truth_all_positions(self):
+        rng = np.random.default_rng(20)
+        d, h, truth, ys, init = _batch_instance(rng, noise=0.01)
+        out = BatchedBitFlipDecoder(d, h).decode_best_of(
+            ys, restarts=6, rng=rng, init=init
+        )
+        assert np.array_equal(out.bits, truth)
+        assert bool(out.converged.all())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_golden_seed_equivalence_noisy(self, seed):
+        """Batched kernel ≡ per-position decoder, bits and RNG stream both:
+        the property that keeps every pre-refactor campaign golden green."""
+        rng = np.random.default_rng(seed)
+        d, h, _, ys, init = _batch_instance(rng)
+        frozen = np.zeros(10, dtype=bool)
+        frozen[: 2] = rng.random(2) < 0.5
+        rng_ref = np.random.default_rng(900 + seed)
+        rng_bat = np.random.default_rng(900 + seed)
+        ref = BitFlipDecoder(d, h)
+        expected = np.empty_like(init)
+        for pos in range(init.shape[1]):
+            expected[:, pos] = ref.decode_best_of(
+                ys[:, pos], restarts=4, rng=rng_ref, init=init[:, pos], frozen=frozen
+            ).bits
+        out = BatchedBitFlipDecoder(d, h).decode_best_of(
+            ys, restarts=4, rng=rng_bat, init=init, frozen=frozen
+        )
+        assert np.array_equal(out.bits, expected)
+        assert rng_ref.random() == rng_bat.random()  # streams still in lockstep
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_golden_seed_equivalence_noiseless(self, seed):
+        """Noiseless inputs hit the exact-residual early stop, exercising
+        the sequential replay fallback; equivalence must still hold."""
+        rng = np.random.default_rng(100 + seed)
+        d, h, _, ys, init = _batch_instance(rng, k=7, n_slots=12, p=5, noise=0.0)
+        rng_ref = np.random.default_rng(300 + seed)
+        rng_bat = np.random.default_rng(300 + seed)
+        ref = BitFlipDecoder(d, h)
+        expected = np.empty_like(init)
+        for pos in range(init.shape[1]):
+            expected[:, pos] = ref.decode_best_of(
+                ys[:, pos], restarts=3, rng=rng_ref, init=init[:, pos],
+                frozen=np.zeros(7, dtype=bool),
+            ).bits
+        out = BatchedBitFlipDecoder(d, h).decode_best_of(
+            ys, restarts=3, rng=rng_bat, init=init, frozen=np.zeros(7, dtype=bool)
+        )
+        assert np.array_equal(out.bits, expected)
+        assert rng_ref.random() == rng_bat.random()
+
+    def test_pair_flip_escapes_cancelling_channels(self):
+        """The closed-form pair scan must take the same escape as the
+        per-position decoder's quadratic scan."""
+        h = np.array([1.0 + 0.2j, -1.0 - 0.19j, 0.7j])
+        d = np.array(
+            [[1, 1, 1], [1, 1, 0], [0, 1, 1], [1, 1, 1], [1, 0, 1]], dtype=np.uint8
+        )
+        bits = np.array([1, 1, 0], dtype=np.uint8)
+        ys = ((d * h) @ bits)[:, None]
+        out = BatchedBitFlipDecoder(d, h).decode(
+            ys, init=np.zeros((3, 1), dtype=np.uint8)
+        )
+        assert np.array_equal(out.bits[:, 0], bits)
+
+    def test_frozen_bits_never_flip(self):
+        rng = np.random.default_rng(21)
+        d, h, truth, ys, _ = _batch_instance(rng)
+        wrong = truth.copy()
+        wrong[0, :] ^= 1
+        frozen = np.zeros(10, dtype=bool)
+        frozen[0] = True
+        out = BatchedBitFlipDecoder(d, h).decode(ys, init=wrong, frozen=frozen)
+        assert np.array_equal(out.bits[0, :], wrong[0, :])
+
+    def test_positions_freeze_independently(self):
+        """One hard column must not stop easy columns from converging."""
+        rng = np.random.default_rng(22)
+        d, h, truth, ys, init = _batch_instance(rng, noise=0.01)
+        out = BatchedBitFlipDecoder(d, h, max_flips=1).decode(ys, init=truth)
+        # warm-started at the truth every column stalls at zero flips
+        assert np.array_equal(out.bits, truth)
+        assert bool(out.converged.all())
+
+    def test_flip_budget_reported_per_position(self):
+        rng = np.random.default_rng(23)
+        d, h, _, ys, init = _batch_instance(rng)
+        out = BatchedBitFlipDecoder(d, h, max_flips=1).decode(ys, init=init)
+        assert out.flips.max() <= 1
+        assert out.converged.shape == (8,)
+
+    def test_empty_batch(self):
+        dec = BatchedBitFlipDecoder(np.ones((3, 2), dtype=np.uint8), np.ones(2))
+        out = dec.decode(
+            np.zeros((3, 0), dtype=complex), init=np.zeros((2, 0), dtype=np.uint8)
+        )
+        assert out.bits.shape == (2, 0)
+        assert out.flips.size == 0
 
 
 class TestIncrementalGains:

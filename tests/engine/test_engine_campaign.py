@@ -12,10 +12,17 @@ import numpy as np
 import pytest
 
 from repro.core.config import BuzzConfig
-from repro.engine.campaign import CampaignCell, CampaignSpec, run_campaign, run_cell
+from repro.engine.cache import CampaignCache, cell_cache_key
+from repro.engine.campaign import (
+    CampaignCell,
+    CampaignResult,
+    CampaignSpec,
+    run_campaign,
+    run_cell,
+)
 from repro.engine.schemes import TdmaScheme, register_scheme
 from repro.engine import schemes as schemes_module
-from repro.network.scenarios import default_uplink_scenario
+from repro.network.scenarios import default_uplink_scenario, error_prone_scenario
 
 #: (scheme, location, trace, duration_s, message_loss, slots_used,
 #:  bits_per_symbol, bit_errors, transmissions) for the K=4 default scenario,
@@ -170,3 +177,124 @@ class TestCampaignResult:
         result = run_campaign(_spec())
         with pytest.raises(ValueError):
             result.by_scheme("aloha")
+
+    def test_aggregates_over_zero_runs_raise(self):
+        """A registered scheme absent from the spec must raise, not return
+        numpy nan with a RuntimeWarning."""
+        result = run_campaign(_spec(schemes=("tdma",)))
+        assert result.by_scheme("cdma") == []  # membership query still fine
+        for aggregate in (
+            result.mean_duration_s,
+            result.total_loss,
+            result.mean_loss_per_run,
+            result.median_loss_fraction,
+            result.mean_rate,
+        ):
+            with pytest.raises(ValueError, match="no runs recorded"):
+                aggregate("cdma")
+
+    def test_json_round_trip_is_exact(self):
+        result = run_campaign(_spec())
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored.scenario_name == result.scenario_name
+        assert [_record(r) for r in restored.runs] == [_record(r) for r in result.runs]
+
+    def test_save_load_round_trip(self, tmp_path):
+        result = run_campaign(_spec())
+        path = tmp_path / "campaign.json"
+        result.save(path)
+        restored = CampaignResult.load(path)
+        assert [_record(r) for r in restored.runs] == [_record(r) for r in result.runs]
+
+
+class _CountingTdmaScheme(TdmaScheme):
+    """Counts executions so cache tests can assert zero new cells."""
+
+    name = "counting-tdma"
+    calls = 0
+
+    def run(self, population, front_end, rng, config, max_slots=None):
+        type(self).calls += 1
+        result = super().run(population, front_end, rng, config, max_slots)
+        return dataclasses.replace(result, scheme=self.name)
+
+
+class TestResultCache:
+    def test_second_run_executes_zero_cells(self, tmp_path):
+        register_scheme(_CountingTdmaScheme())
+        try:
+            spec = _spec(schemes=("counting-tdma",))
+            first = run_campaign(spec, cache_dir=str(tmp_path))
+            executed = _CountingTdmaScheme.calls
+            assert executed == spec.n_cells
+            second = run_campaign(spec, cache_dir=str(tmp_path))
+            assert _CountingTdmaScheme.calls == executed  # zero new cells
+            assert [_record(r) for r in second.runs] == [_record(r) for r in first.runs]
+        finally:
+            schemes_module._REGISTRY.pop("counting-tdma", None)
+            _CountingTdmaScheme.calls = 0
+
+    def test_cached_equals_uncached(self, tmp_path):
+        spec = _spec()
+        plain = run_campaign(spec)
+        warm = run_campaign(spec, cache_dir=str(tmp_path))
+        cached = run_campaign(spec, cache_dir=str(tmp_path))
+        assert [_record(r) for r in warm.runs] == [_record(r) for r in plain.runs]
+        assert [_record(r) for r in cached.runs] == [_record(r) for r in plain.runs]
+
+    def test_partial_overlap_only_runs_new_cells(self, tmp_path):
+        register_scheme(_CountingTdmaScheme())
+        try:
+            small = _spec(schemes=("counting-tdma",), n_locations=1)
+            run_campaign(small, cache_dir=str(tmp_path))
+            calls_small = _CountingTdmaScheme.calls
+            big = _spec(schemes=("counting-tdma",), n_locations=2)
+            run_campaign(big, cache_dir=str(tmp_path))
+            # only location 1's cells are new; location 0's come from cache
+            assert _CountingTdmaScheme.calls == calls_small + small.n_cells
+        finally:
+            schemes_module._REGISTRY.pop("counting-tdma", None)
+            _CountingTdmaScheme.calls = 0
+
+    def test_key_distinguishes_every_input(self):
+        spec = _spec()
+        cell = CampaignCell(0, 0, "buzz")
+        base = cell_cache_key(spec, cell)
+        assert base != cell_cache_key(_spec(root_seed=2025), cell)
+        assert base != cell_cache_key(spec, CampaignCell(0, 1, "buzz"))
+        assert base != cell_cache_key(spec, CampaignCell(0, 0, "tdma"))
+        assert base != cell_cache_key(
+            _spec(scenario=error_prone_scenario(4)), cell
+        )
+        assert base != cell_cache_key(
+            _spec(configs=(BuzzConfig(decode_every=2),)), cell
+        )
+        assert base != cell_cache_key(_spec(max_slots=9), cell)
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        spec = _spec(schemes=("tdma",), n_locations=1, n_traces=1)
+        cache = CampaignCache(tmp_path)
+        cell = next(iter(spec.cells()))
+        path = cache._path(cell_cache_key(spec, cell))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert cache.load(spec, cell) is None
+        result = run_campaign(spec, cache_dir=str(tmp_path))  # repairs the entry
+        assert cache.load(spec, cell) is not None
+        assert _record(result.runs[0]) == _record(run_campaign(spec).runs[0])
+
+
+class TestSilencedInGrid:
+    def test_serial_parallel_identical_with_silenced(self):
+        """The fourth scheme obeys the engine's determinism contract."""
+        spec = _spec(schemes=("buzz", "silenced", "tdma"), n_locations=2, n_traces=1)
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=4)
+        assert [r.scheme for r in serial.runs[:3]] == ["buzz", "silenced", "tdma"]
+        assert [_record(r) for r in serial.runs] == [_record(r) for r in parallel.runs]
+
+    def test_silenced_cells_are_order_independent(self):
+        spec = _spec(schemes=("silenced",), n_locations=1, n_traces=2)
+        forward = [run_cell(spec, c) for c in spec.cells()]
+        again = [run_cell(spec, c) for c in spec.cells()]
+        assert [_record(r) for r in forward] == [_record(r) for r in again]

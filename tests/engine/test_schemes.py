@@ -8,6 +8,7 @@ from repro.engine.schemes import (
     CdmaScheme,
     RatelessScheme,
     SchemeResult,
+    SilencedScheme,
     TdmaScheme,
     UplinkScheme,
     available_schemes,
@@ -27,10 +28,10 @@ def _location(n_tags=4, seed=3):
 
 class TestRegistry:
     def test_builtin_schemes_registered(self):
-        assert set(available_schemes()) >= {"buzz", "tdma", "cdma"}
+        assert set(available_schemes()) >= {"buzz", "tdma", "cdma", "silenced"}
 
     def test_get_scheme_returns_protocol_instances(self):
-        for name in ("buzz", "tdma", "cdma"):
+        for name in ("buzz", "tdma", "cdma", "silenced"):
             assert isinstance(get_scheme(name), UplinkScheme)
 
     def test_unknown_scheme_rejected(self):
@@ -59,7 +60,7 @@ class TestRegistry:
 
 
 class TestSchemeAdapters:
-    @pytest.mark.parametrize("name", ["buzz", "tdma", "cdma"])
+    @pytest.mark.parametrize("name", ["buzz", "tdma", "cdma", "silenced"])
     def test_unified_result_shape(self, name):
         population, front_end = _location()
         seeds = SeedSequenceFactory(3)
@@ -99,6 +100,43 @@ class TestSchemeAdapters:
     def test_buzz_respects_max_slots(self):
         population, front_end = _location()
         result = RatelessScheme().run(
+            population,
+            front_end,
+            np.random.default_rng(1),
+            config=BuzzConfig(),
+            max_slots=2,
+        )
+        assert result.slots_used <= 2
+
+    def test_silenced_folds_ack_overhead_into_duration(self):
+        """On the same location and run stream, the silenced variant's
+        duration must exceed pure airtime: the ACKs are priced in."""
+        population, front_end = _location(n_tags=6, seed=4)
+        result = SilencedScheme().run(
+            population, front_end, np.random.default_rng(9), config=BuzzConfig()
+        )
+        p_bits = population.messages.shape[1]
+        airtime = result.slots_used * p_bits / 80_000.0
+        assert result.message_loss == 0
+        assert result.duration_s > airtime
+
+    def test_silenced_saves_transmissions_vs_buzz(self):
+        """Silencing's whole point: ACKed tags stop transmitting, so the
+        total transmission count never exceeds plain Buzz's on the same
+        draw."""
+        pop_a, fe_a = _location(n_tags=8, seed=6)
+        pop_b, fe_b = _location(n_tags=8, seed=6)
+        buzz = RatelessScheme().run(
+            pop_a, fe_a, np.random.default_rng(11), config=BuzzConfig()
+        )
+        silenced = SilencedScheme().run(
+            pop_b, fe_b, np.random.default_rng(11), config=BuzzConfig()
+        )
+        assert silenced.transmissions.sum() <= buzz.transmissions.sum()
+
+    def test_silenced_respects_max_slots(self):
+        population, front_end = _location()
+        result = SilencedScheme().run(
             population,
             front_end,
             np.random.default_rng(1),

@@ -27,3 +27,30 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_silenced_scheme_runs_end_to_end(self, capsys, tmp_path):
+        """`--schemes silenced` sweeps the fourth scheme through a campaign
+        figure; `--cache-dir` persists its cells and `--out` the report."""
+        cache = tmp_path / "cache"
+        out = tmp_path / "out"
+        args = [
+            "--quick", "fig10",
+            "--schemes", "silenced",
+            "--cache-dir", str(cache),
+            "--out", str(out),
+        ]
+        assert main(args) == 0
+        report = (out / "fig10.txt").read_text()
+        assert "SILENCED ms" in report
+        assert any(cache.rglob("*.json"))  # cells were persisted
+        first = capsys.readouterr().out
+        # Second invocation loads every cell from the cache and reproduces
+        # the identical report, on stdout and in the --out file.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert report in first and report in second
+        assert (out / "fig10.txt").read_text() == report
+
+    def test_unknown_scheme_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--quick", "fig10", "--schemes", "aloha"])
