@@ -13,9 +13,11 @@ Usage::
     python -m repro --quick --out results/   # also write each report to a file
 
 ``--jobs`` and ``--cache-dir`` apply to every campaign-backed experiment
-(fig10–fig13 and headline); ``--schemes`` and ``--scenario`` to the
-per-scheme figures (fig10, fig11, fig13 — fig12's band sweep and
-headline's composition fix their own grids). Experiments a flag does not
+(fig10–fig13, fig15 and headline); ``--schemes`` and ``--scenario`` to the
+per-scheme figures (fig10, fig11, fig13, fig15 — fig12's band sweep and
+headline's composition fix their own grids). fig15 sweeps the end-to-end
+session schemes (``buzz-e2e``, ``silenced-e2e``, ``gen2-tdma-e2e``)
+against the oracle ``buzz``. Experiments a flag does not
 apply to ignore it with a note. Parallel runs are bit-identical to serial
 ones for the same seed, and a second run against the same ``--cache-dir``
 executes zero new campaign cells.
@@ -39,6 +41,7 @@ from repro.experiments import (
     fig12_challenging,
     fig13_energy,
     fig14_identification,
+    fig15_end_to_end,
     headline,
     toy_example,
 )
@@ -78,6 +81,14 @@ _EXPERIMENTS = {
         {"jobs", "schemes", "scenario", "cache_dir"},
     ),
     "fig14": (fig14_identification, {}, {"n_locations": 4}, set()),
+    "fig15": (
+        fig15_end_to_end,
+        {},
+        # Smoke mode: tiny K, two location seeds, one trace — the CI leg
+        # that keeps the end-to-end path exercised on every push.
+        {"tag_counts": (2, 4), "n_locations": 2, "n_traces": 1},
+        {"jobs", "schemes", "scenario", "cache_dir"},
+    ),
     "headline": (
         headline,
         {},

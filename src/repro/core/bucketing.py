@@ -15,7 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.nodes.reader import ReaderFrontEnd
-from repro.nodes.tag import BackscatterTag, bucket_hash
+from repro.nodes.tag import BackscatterTag, bucket_hash_array
 
 __all__ = ["BucketingResult", "bucket_transmit_matrix", "run_bucketing", "candidate_ids"]
 
@@ -60,7 +60,7 @@ def candidate_ids(occupied: np.ndarray, id_space: int) -> np.ndarray:
     occupied = np.asarray(occupied, dtype=bool)
     n_buckets = occupied.size
     ids = np.arange(id_space, dtype=int)
-    buckets = np.array([bucket_hash(int(i), n_buckets) for i in ids])
+    buckets = bucket_hash_array(ids, n_buckets)
     return ids[occupied[buckets]]
 
 

@@ -79,6 +79,7 @@ class BuzzSystem:
         k_hat: Optional[int] = None,
         channel_estimates: Optional[Sequence[complex]] = None,
         max_slots: Optional[int] = None,
+        decoder_seeds: Optional[Sequence[int]] = None,
     ) -> RatelessRunResult:
         """Rateless uplink only (periodic-network mode, §4b)."""
         return run_rateless_uplink(
@@ -91,26 +92,34 @@ class BuzzSystem:
             config=self.config,
             timing=self.timing,
             max_slots=max_slots,
+            decoder_seeds=decoder_seeds,
         )
 
     def run(self, tags: Sequence[BackscatterTag], rng: np.random.Generator) -> BuzzRunResult:
-        """Full event-driven interaction: identify, then transfer data."""
+        """Full event-driven interaction: identify, then transfer data.
+
+        The data phase decodes from the reader's *recovered* view — the
+        ids and channel estimates identification produced — so an inexact
+        identification degrades the transfer honestly (missed tags are
+        lost, spurious ids never verify) instead of silently borrowing
+        genie knowledge. The richer campaign-facing composition of the
+        same two phases lives in :mod:`repro.engine.session`.
+        """
         ident = self.run_identification(tags, rng)
 
-        channel_estimates: Optional[np.ndarray] = None
-        if self.use_estimated_channels and ident.exact:
-            # Map estimates back to tag order through the temporary ids.
-            est = np.empty(len(tags), dtype=complex)
-            for i, tag in enumerate(tags):
-                est[i] = ident.channel_for(int(tag.temp_id))  # type: ignore[arg-type]
-            channel_estimates = est
-
-        data = self.run_data_phase(
-            tags,
-            rng,
-            k_hat=max(1, ident.k_estimate.k_hat),
-            channel_estimates=channel_estimates,
-        )
+        if self.use_estimated_channels:
+            estimates = ident.estimates
+            data = self.run_data_phase(
+                tags,
+                rng,
+                k_hat=max(1, len(estimates)),
+                channel_estimates=estimates.values,
+                decoder_seeds=estimates.seeds(),
+            )
+        else:
+            data = self.run_data_phase(
+                tags, rng, k_hat=max(1, ident.k_estimate.k_hat)
+            )
         return BuzzRunResult(
             identification=ident,
             data=data,

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.coding.prng import slot_decision, transmit_pattern_matrix
+from repro.coding.prng import slot_decision_matrix, transmit_pattern_matrix
 from repro.core.bucketing import BucketingResult, run_bucketing
 from repro.core.config import BuzzConfig
 from repro.core.kestimate import KEstimateResult, estimate_k
@@ -35,7 +35,62 @@ from repro.nodes.reader import ReaderFrontEnd
 from repro.nodes.tag import SALT_CSPATTERN, BackscatterTag
 from repro.sensing.recovery import recover_sparse
 
-__all__ = ["IdentificationResult", "identify", "cs_transmit_matrix", "candidate_matrix"]
+__all__ = [
+    "ChannelEstimates",
+    "IdentificationResult",
+    "identify",
+    "cs_transmit_matrix",
+    "candidate_matrix",
+]
+
+
+@dataclass(frozen=True)
+class ChannelEstimates:
+    """The reader's post-identification view: who is active, on what channel.
+
+    This is the object the session pipeline threads from the
+    identification stage into the data stage — the recovered temporary ids
+    (the data-phase PRNG seeds) paired with the *estimated* complex
+    channels the compressive-sensing recovery produced, never the oracle
+    ones. It is deliberately detached from :class:`IdentificationResult`
+    so a data phase (or a cache of estimates) can be driven without
+    holding the full protocol trace.
+
+    Attributes
+    ----------
+    ids:
+        Sorted recovered temporary ids.
+    values:
+        Complex channel estimate per id (same order).
+    """
+
+    ids: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.ids, dtype=int).ravel()
+        values = np.asarray(self.values, dtype=complex).ravel()
+        if ids.size != values.size:
+            raise ValueError("ids and values must have equal length")
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def __contains__(self, temp_id: int) -> bool:
+        return bool(np.any(self.ids == int(temp_id)))
+
+    def channel_for(self, temp_id: int) -> complex:
+        """Estimated channel of a recovered temporary id."""
+        idx = np.flatnonzero(self.ids == int(temp_id))
+        if idx.size == 0:
+            raise KeyError(f"id {temp_id} was not recovered")
+        return complex(self.values[idx[0]])
+
+    def seeds(self) -> List[int]:
+        """The recovered ids as plain ints — data-phase decoder seeds."""
+        return [int(i) for i in self.ids]
 
 
 @dataclass
@@ -63,6 +118,9 @@ class IdentificationResult:
         Number of protocol attempts including restarts.
     exact:
         True when the recovered id set equals the truly active set.
+    transmissions:
+        Per-tag count of slots each tag reflected in across all stages and
+        attempts — the identification half of the session energy account.
     """
 
     recovered_ids: np.ndarray
@@ -75,6 +133,12 @@ class IdentificationResult:
     attempts: int
     true_ids: np.ndarray
     exact: bool
+    transmissions: np.ndarray
+
+    @property
+    def estimates(self) -> ChannelEstimates:
+        """The reusable (ids, estimated channels) view for the data phase."""
+        return ChannelEstimates(ids=self.recovered_ids, values=self.channel_estimates)
 
     def channel_for(self, temp_id: int) -> complex:
         """Estimated channel of a recovered temporary id."""
@@ -85,12 +149,18 @@ class IdentificationResult:
 
 
 def cs_transmit_matrix(tags: Sequence[BackscatterTag], n_slots: int) -> np.ndarray:
-    """``(M, K)`` Stage-3 schedule: each active tag sends its pattern bits."""
-    matrix = np.zeros((n_slots, len(tags)), dtype=np.uint8)
-    for col, tag in enumerate(tags):
-        for slot in range(n_slots):
-            matrix[slot, col] = tag.cs_pattern_bit(slot)
-    return matrix
+    """``(M, K)`` Stage-3 schedule: each active tag sends its pattern bits.
+
+    One batched :func:`~repro.coding.prng.slot_decision_matrix` call over
+    all slots and tags, replacing the former ``M × K`` scalar PRNG loop —
+    bit-identical to evaluating ``tag.cs_pattern_bit`` per entry.
+    """
+    for tag in tags:
+        if tag.temp_id is None:
+            raise RuntimeError("tag has no temporary id yet")
+    return slot_decision_matrix(
+        [t.temp_id for t in tags], range(n_slots), 0.5, salt=SALT_CSPATTERN
+    )
 
 
 def candidate_matrix(candidates: Sequence[int], n_slots: int) -> np.ndarray:
@@ -115,6 +185,7 @@ def identify(
     channels = np.array([t.channel for t in tags], dtype=complex)
     total_slots = 0
     attempts = 0
+    tx_counts = np.zeros(len(tags), dtype=int)
     last_result: Optional[IdentificationResult] = None
 
     while attempts < max_attempts:
@@ -126,6 +197,7 @@ def identify(
         kest = estimate_k(tags, front_end, rng, config, session=attempts - 1)
         k_hat = max(1, kest.k_hat)
         total_slots += kest.slots_used
+        tx_counts += kest.transmissions
 
         # ---- Stage 2: temporary ids + bucketing --------------------------------
         id_space = config.temp_id_space(k_hat)
@@ -138,6 +210,7 @@ def identify(
             tags, config.n_buckets(k_hat), id_space, front_end, rng
         )
         total_slots += bucketing.slots_used
+        tx_counts += 1  # every active tag reflects exactly once, in its bucket
 
         # ---- Stage 3: compressive sensing --------------------------------------
         # Every active node occupies exactly one bucket, so the occupied
@@ -148,6 +221,7 @@ def identify(
         k_for_cs = max(k_hat, int(np.count_nonzero(bucketing.occupied)))
         m_slots = config.cs_slots(k_for_cs)
         tx = cs_transmit_matrix(tags, m_slots)
+        tx_counts += tx.sum(axis=0, dtype=int)
         if len(tags) == 0:
             symbols = front_end.observe_empty(m_slots, rng)
         else:
@@ -189,6 +263,7 @@ def identify(
             attempts=attempts,
             true_ids=true_ids,
             exact=exact,
+            transmissions=tx_counts.copy(),
         )
         if not duplicates:
             return last_result

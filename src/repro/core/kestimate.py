@@ -25,13 +25,14 @@ force oversized temporary-id spaces or protocol restarts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.coding.prng import slot_decision_matrix
 from repro.core.config import BuzzConfig
 from repro.nodes.reader import ReaderFrontEnd
-from repro.nodes.tag import BackscatterTag
+from repro.nodes.tag import SALT_KEST, BackscatterTag
 
 __all__ = ["KEstimateResult", "estimate_k", "kest_transmit_matrix"]
 
@@ -57,6 +58,9 @@ class KEstimateResult:
     steps_used: int
     slots_used: int
     empty_fractions: List[float] = field(default_factory=list)
+    #: Per-tag count of slots each tag reflected in — the session pipeline's
+    #: per-stage energy accounting. ``None`` for hand-built results.
+    transmissions: Optional[np.ndarray] = None
 
 
 def kest_transmit_matrix(
@@ -68,11 +72,10 @@ def kest_transmit_matrix(
     ``p = 2^-step``.
     """
     p = 2.0 ** (-step)
-    matrix = np.zeros((slots_per_step, len(tags)), dtype=np.uint8)
-    for col, tag in enumerate(tags):
-        for slot in range(slots_per_step):
-            matrix[slot, col] = 1 if tag.kest_transmits(step, slot, p, session) else 0
-    return matrix
+    # Same composite key as BackscatterTag.kest_transmits, evaluated for the
+    # whole (s, K) block in one vectorized pass.
+    keys = [(session << 28) | (step << 16) | slot for slot in range(slots_per_step)]
+    return slot_decision_matrix([t.global_id for t in tags], keys, p, salt=SALT_KEST)
 
 
 def estimate_k(
@@ -90,9 +93,11 @@ def estimate_k(
     channels = np.array([t.channel for t in tags], dtype=complex)
     s = config.slots_per_step
     empty_fractions: List[float] = []
+    transmissions = np.zeros(len(tags), dtype=int)
 
     for step in range(1, config.max_kest_steps + 1):
         matrix = kest_transmit_matrix(tags, step, s, session)
+        transmissions += matrix.sum(axis=0, dtype=int)
         if len(tags) == 0:
             symbols = front_end.observe_empty(s, rng)
         else:
@@ -106,6 +111,7 @@ def estimate_k(
                 steps_used=step,
                 slots_used=s * step,
                 empty_fractions=empty_fractions,
+                transmissions=transmissions,
             )
 
     # Pathological: medium stayed busy through every step. Fall back to the
@@ -115,6 +121,7 @@ def estimate_k(
         steps_used=config.max_kest_steps,
         slots_used=s * config.max_kest_steps,
         empty_fractions=empty_fractions,
+        transmissions=transmissions,
     )
 
 

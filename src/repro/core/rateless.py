@@ -306,36 +306,44 @@ class RatelessDecoder:
         the summed power margin of those slots,
         ``Σ |h_lone|² / noise_std²``, to reach 16 (≈ 12 dB of accumulated
         SNR) before either node may freeze.
+
+        The pairwise scan is fully batched: one ``(n, n)`` slot-overlap
+        matmul yields every pair's lone-slot counts, and the degeneracy and
+        evidence tests evaluate as whole matrices — the same arithmetic the
+        former O(free²) Python double loop performed per surviving pair,
+        pinned by an equivalence test against a scalar reference.
         """
         mask = np.zeros(self.k, dtype=bool)
         weights = d.sum(axis=0)
+        idx = np.flatnonzero(~self._decoded & (weights > 0))
+        if idx.size < 2:
+            return mask
+        h = self.h[idx]
+        absh = np.abs(h)
         threshold = 4.0 * self.noise_std
         noise_power = max(self.noise_std**2, 1e-18)
-        for i in range(self.k):
-            if self._decoded[i] or weights[i] == 0:
-                continue
-            for j in range(i + 1, self.k):
-                if self._decoded[j] or weights[j] == 0:
-                    continue
-                degenerate = min(
-                    abs(self.h[i] + self.h[j]), abs(self.h[i] - self.h[j])
-                )
-                # The dangerous case is mutual near-cancellation, where the
-                # combination is far smaller than either channel. A pair
-                # that is merely *jointly weak* is handled by the per-node
-                # weight requirements, not by this veto.
-                if degenerate >= threshold or degenerate >= 0.5 * min(
-                    abs(self.h[i]), abs(self.h[j])
-                ):
-                    continue
-                only_i = (d[:, i] == 1) & (d[:, j] == 0)
-                only_j = (d[:, j] == 1) & (d[:, i] == 0)
-                evidence = (
-                    int(only_i.sum()) * abs(self.h[i]) ** 2
-                    + int(only_j.sum()) * abs(self.h[j]) ** 2
-                ) / noise_power
-                if evidence < 16.0:
-                    mask[i] = mask[j] = True
+        degenerate = np.minimum(
+            np.abs(h[:, None] + h[None, :]), np.abs(h[:, None] - h[None, :])
+        )
+        # The dangerous case is mutual near-cancellation, where the
+        # combination is far smaller than either channel. A pair that is
+        # merely *jointly weak* is handled by the per-node weight
+        # requirements, not by this veto.
+        candidate = (degenerate < threshold) & (
+            degenerate < 0.5 * np.minimum(absh[:, None], absh[None, :])
+        )
+        np.fill_diagonal(candidate, False)
+        if not candidate.any():
+            return mask
+        d_sub = d[:, idx].astype(float)
+        shared = d_sub.T @ d_sub  # |d_i ∩ d_j| per pair
+        w = weights[idx].astype(float)
+        only_i = w[:, None] - shared
+        only_j = w[None, :] - shared
+        power = absh**2
+        evidence = (only_i * power[:, None] + only_j * power[None, :]) / noise_power
+        flagged = (candidate & (evidence < 16.0)).any(axis=1)
+        mask[idx[flagged]] = True
         return mask
 
     def _node_margin_ok(self, node: int, row: int, participants: np.ndarray) -> bool:
@@ -429,6 +437,55 @@ class RatelessRunResult:
         return self.decoded_mask.size / self.slots_used
 
 
+def _decoder_view(
+    tag_seeds: List[int],
+    channels: np.ndarray,
+    channel_estimates: Optional[Sequence[complex]],
+    decoder_seeds: Optional[Sequence[int]],
+) -> tuple:
+    """Resolve the reader's decoder view and its mapping back to the tags.
+
+    Returns ``(view_seeds, h_view, mapping)`` where ``mapping[i]`` is the
+    decoder index serving tag *i*, or −1 when the reader never recovered
+    that tag's temporary id (its message is unreachable). With no explicit
+    ``decoder_seeds`` the view is the oracle one — the tags themselves,
+    with ``channel_estimates`` (or the true channels) aligned per tag.
+    """
+    if decoder_seeds is None:
+        h_view = (
+            channels
+            if channel_estimates is None
+            else np.asarray(channel_estimates, dtype=complex).ravel()
+        )
+        return tag_seeds, h_view, np.arange(len(tag_seeds))
+    if channel_estimates is None:
+        raise ValueError("decoder_seeds requires channel_estimates (the reader's view)")
+    view_seeds = [int(s) for s in decoder_seeds]
+    h_view = np.asarray(channel_estimates, dtype=complex).ravel()
+    if len(view_seeds) != h_view.size:
+        raise ValueError("decoder_seeds and channel_estimates must have equal length")
+    index: dict = {}
+    for j, s in enumerate(view_seeds):
+        index.setdefault(s, j)
+    mapping = np.array([index.get(s, -1) for s in tag_seeds], dtype=int)
+    return view_seeds, h_view, mapping
+
+
+def _map_view_to_tags(
+    decoder: RatelessDecoder, mapping: np.ndarray, n_positions: int
+) -> tuple:
+    """Project the decoder's per-view state back onto the tag population."""
+    k = mapping.size
+    view_decoded = decoder.decoded_mask
+    view_messages = decoder.messages()
+    decoded = np.zeros(k, dtype=bool)
+    estimates = np.zeros((k, n_positions), dtype=np.uint8)
+    matched = mapping >= 0
+    decoded[matched] = view_decoded[mapping[matched]]
+    estimates[matched] = view_messages[mapping[matched]]
+    return decoded, estimates
+
+
 def run_rateless_uplink(
     tags: Sequence[BackscatterTag],
     front_end: ReaderFrontEnd,
@@ -439,6 +496,7 @@ def run_rateless_uplink(
     config: BuzzConfig = BuzzConfig(),
     timing: LinkTiming = GEN2_DEFAULT_TIMING,
     max_slots: Optional[int] = None,
+    decoder_seeds: Optional[Sequence[int]] = None,
 ) -> RatelessRunResult:
     """Run the full data-transmission phase over the simulated PHY.
 
@@ -446,6 +504,15 @@ def run_rateless_uplink(
     identification.identify`, or assigned statically for periodic
     networks). ``channel_estimates`` defaults to the true channels —
     pass identification's estimates to include estimation error.
+
+    ``decoder_seeds`` switches the reader to a *non-oracle* view: the
+    decoder is built from those temporary ids (what identification
+    recovered) and ``channel_estimates`` (one per decoder seed), while the
+    air side still runs every tag's true schedule. Tags whose id the
+    reader never recovered transmit into slots the reader cannot explain
+    and their messages count as lost; spurious recovered ids become
+    phantom decoder columns that simply never verify — exactly the failure
+    surface an imperfect identification leaves behind.
     """
     k = len(tags)
     if k == 0:
@@ -453,14 +520,6 @@ def run_rateless_uplink(
     messages = np.stack([t.message for t in tags])
     n_positions = messages.shape[1]
     channels = np.array([t.channel for t in tags], dtype=complex)
-    h_est = (
-        channels
-        if channel_estimates is None
-        else np.asarray(channel_estimates, dtype=complex).ravel()
-    )
-    k_for_density = k_hat if k_hat is not None else k
-    density = config.data_density(k_for_density)
-    limit = max_slots if max_slots is not None else config.max_data_slots(k)
 
     # Batched tag-side transmit draws: each tag's coin for a block of slots
     # is drawn in one vectorized pass — the same pure function of
@@ -473,11 +532,37 @@ def run_rateless_uplink(
         if t.temp_id is None:
             raise RuntimeError("tag has no temporary id yet")
     tag_seeds = [t.temp_id for t in tags]
+    view_seeds, h_view, mapping = _decoder_view(
+        tag_seeds, channels, channel_estimates, decoder_seeds
+    )
+    oracle_view = decoder_seeds is None
+
+    k_for_density = k_hat if k_hat is not None else len(view_seeds)
+    # The abort bound, like the density, comes from what the reader knows:
+    # the true K with the oracle view, the recovered count otherwise.
+    limit = (
+        max_slots
+        if max_slots is not None
+        else config.max_data_slots(k if oracle_view else k_for_density)
+    )
+    if len(view_seeds) == 0:
+        # The reader recovered nobody: it never opens a data phase, every
+        # message is lost, and only the trigger command costs airtime.
+        return RatelessRunResult(
+            decoded_mask=np.zeros(k, dtype=bool),
+            messages=np.zeros((k, n_positions), dtype=np.uint8),
+            slots_used=0,
+            duration_s=timing.query_duration_s(),
+            transmissions=np.zeros(k, dtype=int),
+            progress=[],
+            bit_errors=int(np.count_nonzero(messages)),
+        )
+    density = config.data_density(k_for_density)
     block_size = min(limit, RatelessDecoder.ROW_BLOCK)
 
     decoder = RatelessDecoder(
-        seeds=tag_seeds,
-        channels=h_est,
+        seeds=view_seeds,
+        channels=h_view,
         n_positions=n_positions,
         density=density,
         crc=crc,
@@ -496,18 +581,24 @@ def run_rateless_uplink(
             block_start, offset = slot, 0
             block = range(slot, min(slot + block_size, limit))
             tag_rows = slot_decision_matrix(tag_seeds, block, density, salt=SALT_DATA)
-            # Tag-side and reader-side views of D must agree bit-for-bit —
-            # an explicit check (unlike an ``assert``, it survives
-            # ``python -O``) over the whole batch at once.
-            reader_rows = decoder.expected_rows(block)
-            if not np.array_equal(tag_rows, reader_rows):
-                raise RuntimeError(
-                    "D regeneration diverged: reader-side seeds or density "
-                    "do not reproduce the tags' transmit schedule"
-                )
-            # The verified block doubles as the decoder's row cache, so
-            # add_slot below does not regenerate it a third time.
-            decoder.prime_row_cache(slot, reader_rows)
+            if oracle_view:
+                # Tag-side and reader-side views of D must agree bit-for-bit
+                # — an explicit check (unlike an ``assert``, it survives
+                # ``python -O``) over the whole batch at once.
+                reader_rows = decoder.expected_rows(block)
+                if not np.array_equal(tag_rows, reader_rows):
+                    raise RuntimeError(
+                        "D regeneration diverged: reader-side seeds or density "
+                        "do not reproduce the tags' transmit schedule"
+                    )
+                # The verified block doubles as the decoder's row cache, so
+                # add_slot below does not regenerate it a third time.
+                decoder.prime_row_cache(slot, reader_rows)
+            else:
+                # Non-oracle view: the reader's D covers the recovered ids,
+                # not the tags — the whole point is that the two schedules
+                # may disagree, so it regenerates its own block.
+                decoder.prime_row_cache(slot, decoder.expected_rows(block))
         row = tag_rows[offset]
         transmissions += row
         # Per position p the reflectors contribute h_i * B[i, p].
@@ -525,8 +616,7 @@ def run_rateless_uplink(
     ):
         decoder.try_decode()
 
-    decoded = decoder.decoded_mask
-    estimates = decoder.messages()
+    decoded, estimates = _map_view_to_tags(decoder, mapping, n_positions)
     bit_errors = int(np.count_nonzero(estimates != messages))
     symbol_s = 1.0 / timing.uplink_rate_bps
     duration = decoder.slots_collected * n_positions * symbol_s + timing.query_duration_s()

@@ -32,7 +32,12 @@ import numpy as np
 from repro.coding.crc import CRC5_GEN2, CrcSpec
 from repro.coding.prng import slot_decision_matrix
 from repro.core.config import BuzzConfig
-from repro.core.rateless import DecodeProgress, RatelessDecoder
+from repro.core.rateless import (
+    DecodeProgress,
+    RatelessDecoder,
+    _decoder_view,
+    _map_view_to_tags,
+)
 from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
 from repro.nodes.reader import ReaderFrontEnd
 from repro.nodes.tag import SALT_DATA, BackscatterTag
@@ -91,6 +96,8 @@ def run_rateless_with_silencing(
     timing: LinkTiming = GEN2_DEFAULT_TIMING,
     max_slots: Optional[int] = None,
     id_space: Optional[int] = None,
+    channel_estimates: Optional[Sequence[complex]] = None,
+    decoder_seeds: Optional[Sequence[int]] = None,
 ) -> SilencedRunResult:
     """Rateless uplink where verified tags are ACKed and go silent.
 
@@ -99,6 +106,12 @@ def run_rateless_with_silencing(
     spends ``ack_duration_s`` per new message and those tags stop
     participating in subsequent slots. The decoder regenerates D with the
     silenced set masked out (the reader knows exactly whom it ACKed).
+
+    ``channel_estimates``/``decoder_seeds`` select a non-oracle reader view
+    exactly as in :func:`~repro.core.rateless.run_rateless_uplink`: the
+    decoder (and the ACKs) run over the recovered ids, a tag falls silent
+    when it hears its own temporary id ACKed, and unrecovered tags keep
+    transmitting into slots the reader cannot explain.
     """
     k = len(tags)
     if k == 0:
@@ -106,9 +119,6 @@ def run_rateless_with_silencing(
     messages = np.stack([t.message for t in tags])
     n_positions = messages.shape[1]
     channels = np.array([t.channel for t in tags], dtype=complex)
-    k_for_density = k_hat if k_hat is not None else k
-    density = config.data_density(k_for_density)
-    limit = max_slots if max_slots is not None else config.max_data_slots(k)
     space = id_space if id_space is not None else 10 * k * k
 
     # Same precondition as the plain rateless driver: the data-phase
@@ -116,10 +126,35 @@ def run_rateless_with_silencing(
     for t in tags:
         if t.temp_id is None:
             raise RuntimeError("tag has no temporary id yet")
+    tag_seeds = [t.temp_id for t in tags]
+    view_seeds, h_view, mapping = _decoder_view(
+        tag_seeds, channels, channel_estimates, decoder_seeds
+    )
+    oracle_view = decoder_seeds is None
+    k_for_density = k_hat if k_hat is not None else len(view_seeds)
+    # The abort bound, like the density, comes from what the reader knows:
+    # the true K with the oracle view, the recovered count otherwise.
+    limit = (
+        max_slots
+        if max_slots is not None
+        else config.max_data_slots(k if oracle_view else k_for_density)
+    )
+    if len(view_seeds) == 0:
+        return SilencedRunResult(
+            decoded_mask=np.zeros(k, dtype=bool),
+            messages=np.zeros((k, n_positions), dtype=np.uint8),
+            slots_used=0,
+            duration_s=timing.query_duration_s(),
+            ack_overhead_s=0.0,
+            transmissions=np.zeros(k, dtype=int),
+            progress=[],
+            bit_errors=int(np.count_nonzero(messages)),
+        )
+    density = config.data_density(k_for_density)
 
     decoder = RatelessDecoder(
-        seeds=[t.temp_id for t in tags],
-        channels=channels,
+        seeds=view_seeds,
+        channels=h_view,
         n_positions=n_positions,
         density=density,
         crc=crc,
@@ -131,14 +166,18 @@ def run_rateless_with_silencing(
     # Tag-side transmit draws, batched exactly like the plain driver's:
     # the unmasked schedule is a pure function of (temp_id, slot), so a
     # block regenerates in one vectorized pass and the dynamic silencing
-    # mask is applied per slot at use time.
-    tag_seeds = [t.temp_id for t in tags]
+    # mask is applied per slot at use time. The reader's own (view-side)
+    # rows are regenerated in the same blocks; with the oracle view the
+    # two are the same matrix.
     block_size = min(limit, RatelessDecoder.ROW_BLOCK)
+    matched = mapping >= 0
 
     transmissions = np.zeros(k, dtype=int)
     silenced = np.zeros(k, dtype=bool)
+    acked = np.zeros(len(view_seeds), dtype=bool)
     ack_overhead = 0.0
     unmasked_rows = np.zeros((0, k), dtype=np.uint8)
+    view_rows = np.zeros((0, len(view_seeds)), dtype=np.uint8)
     block_start = 0
     slot = 0
     while slot < limit:
@@ -147,26 +186,35 @@ def run_rateless_with_silencing(
             block_start, offset = slot, 0
             block = range(slot, min(slot + block_size, limit))
             unmasked_rows = slot_decision_matrix(tag_seeds, block, density, salt=SALT_DATA)
+            # With the oracle view the reader's rows are the very same
+            # matrix — don't regenerate the block twice in the hot loop.
+            view_rows = (
+                unmasked_rows
+                if oracle_view
+                else slot_decision_matrix(view_seeds, block, density, salt=SALT_DATA)
+            )
         row = unmasked_rows[offset] * (~silenced).astype(np.uint8)
         transmissions += row
         tx_per_position = (messages * row[:, None]).T
         symbols = front_end.observe(tx_per_position, channels, rng)
         # The reader knows exactly whom it ACKed, so it reconstructs the
-        # same masked row — reader-side knowledge, not signalling.
-        decoder.add_slot(symbols, slot, row=row)
+        # masked row over its recovered ids — reader-side knowledge, not
+        # signalling.
+        reader_row = view_rows[offset] * (~acked).astype(np.uint8)
+        decoder.add_slot(symbols, slot, row=reader_row)
         slot += 1
 
         progress = decoder.try_decode()
         if progress.newly_decoded:
-            newly = decoder.decoded_mask & ~silenced
             for _ in range(int(progress.newly_decoded)):
                 ack_overhead += ack_duration_s(space, timing)
-            silenced |= newly
+            acked |= decoder.decoded_mask
+            # A tag falls silent when its own temporary id is echoed back.
+            silenced[matched] = acked[mapping[matched]]
         if decoder.all_decoded:
             break
 
-    decoded = decoder.decoded_mask
-    estimates = decoder.messages()
+    decoded, estimates = _map_view_to_tags(decoder, mapping, n_positions)
     bit_errors = int(np.count_nonzero(estimates != messages))
     symbol_s = 1.0 / timing.uplink_rate_bps
     duration = (

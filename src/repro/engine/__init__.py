@@ -12,7 +12,11 @@
 * :mod:`repro.engine.executors` — serial and process-pool backends, both
   bit-identical for the same root seed;
 * :mod:`repro.engine.cache` — content-addressed per-cell result cache, so
-  re-running a campaign with ``cache_dir`` set only executes new cells.
+  re-running a campaign with ``cache_dir`` set only executes new cells;
+* :mod:`repro.engine.session` — the session pipeline layer: composable
+  identification + data stages, registering the end-to-end variants
+  (``buzz-e2e``, ``silenced-e2e``, ``gen2-tdma-e2e``) that thread
+  *recovered* ids and *estimated* channels into the data phase.
 
 The classic entry point :func:`repro.network.campaign.run_campaign` is a
 thin wrapper over this package.
@@ -39,6 +43,14 @@ from repro.engine.schemes import (
     get_scheme,
     register_scheme,
 )
+from repro.engine.session import (
+    DataStage,
+    IdentificationStage,
+    SessionPipeline,
+    SessionStage,
+    SessionState,
+    StageAccount,
+)
 
 __all__ = [
     "SCHEMES",
@@ -47,12 +59,18 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CdmaScheme",
+    "DataStage",
+    "IdentificationStage",
     "RatelessScheme",
     "SchemeResult",
     "SchemeRun",
+    "SessionPipeline",
+    "SessionStage",
+    "SessionState",
     "SilencedScheme",
     "TdmaScheme",
     "UplinkScheme",
+    "StageAccount",
     "available_schemes",
     "get_scheme",
     "register_scheme",

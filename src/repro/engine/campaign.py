@@ -57,7 +57,13 @@ SCHEMES = ("buzz", "tdma", "cdma")
 
 @dataclass(frozen=True)
 class SchemeRun:
-    """One scheme's outcome on one grid cell."""
+    """One scheme's outcome on one grid cell.
+
+    ``identification_s``/``data_s``/``retries`` are the stage-resolved
+    fields session-pipeline schemes fill in (``duration_s`` is exactly
+    their sum); single-phase schemes — and records persisted before the
+    session layer existed — carry ``None``.
+    """
 
     scheme: str
     location: int
@@ -70,6 +76,9 @@ class SchemeRun:
     transmissions: np.ndarray
     bit_errors: int
     variant: int = 0
+    identification_s: Optional[float] = None
+    data_s: Optional[float] = None
+    retries: Optional[int] = None
 
     @classmethod
     def from_result(cls, result: SchemeResult, cell: "CampaignCell") -> "SchemeRun":
@@ -86,6 +95,9 @@ class SchemeRun:
             transmissions=result.transmissions,
             bit_errors=result.bit_errors,
             variant=cell.variant,
+            identification_s=result.identification_s,
+            data_s=result.data_s,
+            retries=result.retries,
         )
 
     def to_dict(self) -> dict:
@@ -102,11 +114,23 @@ class SchemeRun:
             "transmissions": [int(t) for t in self.transmissions],
             "bit_errors": int(self.bit_errors),
             "variant": int(self.variant),
+            "identification_s": None
+            if self.identification_s is None
+            else float(self.identification_s),
+            "data_s": None if self.data_s is None else float(self.data_s),
+            "retries": None if self.retries is None else int(self.retries),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SchemeRun":
-        """Inverse of :meth:`to_dict` (transmissions back to an int array)."""
+        """Inverse of :meth:`to_dict` (transmissions back to an int array).
+
+        Stage fields default to ``None`` when absent, so records persisted
+        before the session layer existed load unchanged.
+        """
+        identification_s = data.get("identification_s")
+        data_s = data.get("data_s")
+        retries = data.get("retries")
         return cls(
             scheme=str(data["scheme"]),
             location=int(data["location"]),
@@ -119,6 +143,9 @@ class SchemeRun:
             transmissions=np.asarray(data["transmissions"], dtype=int),
             bit_errors=int(data["bit_errors"]),
             variant=int(data.get("variant", 0)),
+            identification_s=None if identification_s is None else float(identification_s),
+            data_s=None if data_s is None else float(data_s),
+            retries=None if retries is None else int(retries),
         )
 
 

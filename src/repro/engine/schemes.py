@@ -12,7 +12,7 @@ code changes, and no per-scheme record-building branches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -61,6 +61,11 @@ class SchemeResult:
         Per-tag transmission counts (drives the energy model).
     bit_errors:
         Hamming distance between decoded and true messages.
+    identification_s / data_s / retries:
+        Stage-resolved accounting, set only by session-pipeline schemes
+        (``*-e2e``): identification airtime, data-phase airtime (their sum
+        is exactly ``duration_s``), and the number of identification
+        restarts. ``None`` for single-phase schemes.
     """
 
     scheme: str
@@ -71,6 +76,9 @@ class SchemeResult:
     slots_used: int
     transmissions: np.ndarray
     bit_errors: int
+    identification_s: Optional[float] = None
+    data_s: Optional[float] = None
+    retries: Optional[int] = None
 
 
 @runtime_checkable
@@ -118,6 +126,41 @@ class RatelessScheme:
         run = run_rateless_uplink(
             population.tags, front_end, rng, config=config, max_slots=max_slots
         )
+        return self._summarise(run, n)
+
+    def run_session_data(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+        *,
+        decoder_seeds: Optional[Sequence[int]] = None,
+        channel_estimates: Optional[Sequence[complex]] = None,
+        k_hat: Optional[int] = None,
+        id_space: Optional[int] = None,
+    ) -> SchemeResult:
+        """Data phase driven by a completed identification stage.
+
+        Unlike :meth:`run`, nothing is drawn here: the tags keep the
+        temporary ids identification assigned them, and the decoder runs
+        on the *recovered* ids and *estimated* channels — the session
+        pipeline's non-oracle view.
+        """
+        run = run_rateless_uplink(
+            population.tags,
+            front_end,
+            rng,
+            k_hat=k_hat,
+            channel_estimates=channel_estimates,
+            config=config,
+            max_slots=max_slots,
+            decoder_seeds=decoder_seeds,
+        )
+        return self._summarise(run, len(population))
+
+    def _summarise(self, run, n: int) -> SchemeResult:
         return SchemeResult(
             scheme=self.name,
             duration_s=run.duration_s,
@@ -163,6 +206,41 @@ class SilencedScheme:
             max_slots=max_slots,
             id_space=id_space,
         )
+        return self._summarise(run, n)
+
+    def run_session_data(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+        *,
+        decoder_seeds: Optional[Sequence[int]] = None,
+        channel_estimates: Optional[Sequence[complex]] = None,
+        k_hat: Optional[int] = None,
+        id_space: Optional[int] = None,
+    ) -> SchemeResult:
+        """ACK-silenced data phase on identification's recovered view.
+
+        The ACK length is priced off the *identification* id space (the
+        ids the reader actually echoes), and the decoder/ACK loop runs
+        over the recovered ids with their estimated channels.
+        """
+        run = run_rateless_with_silencing(
+            population.tags,
+            front_end,
+            rng,
+            k_hat=k_hat,
+            config=config,
+            max_slots=max_slots,
+            id_space=id_space,
+            channel_estimates=channel_estimates,
+            decoder_seeds=decoder_seeds,
+        )
+        return self._summarise(run, len(population))
+
+    def _summarise(self, run, n: int) -> SchemeResult:
         return SchemeResult(
             scheme=self.name,
             duration_s=run.duration_s,

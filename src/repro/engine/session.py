@@ -1,0 +1,394 @@
+"""Session pipeline: identification + data phase as composable stages.
+
+The paper's headline claim is about *complete sessions*: the reader
+estimates K, buckets temporary ids, recovers the active set and its
+complex channels by compressive sensing (§5), and only then runs the
+rateless data phase (§6) on what it recovered. The engine's single-phase
+schemes deliberately start from oracle tag knowledge (the §9 setup);
+this module closes the loop.
+
+* :class:`SessionStage` — the stage contract: consume and extend one
+  :class:`SessionState`, return a :class:`StageAccount` of airtime, slots,
+  per-tag transmissions and restarts.
+* :class:`IdentificationStage` — wraps :func:`repro.core.identification.
+  identify` (including its duplicate-id retry loop) or the Gen-2
+  alternatives (FSA, FSA seeded with Buzz's K̂, binary tree).
+* :class:`DataStage` — wraps any registered
+  :class:`~repro.engine.schemes.UplinkScheme`. Schemes that expose
+  ``run_session_data`` (the rateless family) receive the *recovered* ids
+  and *estimated* channels — never the oracle ones; identity-agnostic
+  baselines (TDMA/CDMA) run unchanged.
+* :class:`SessionPipeline` — composes the stages into one
+  :class:`~repro.engine.schemes.UplinkScheme`, so every campaign, cache
+  key, figure driver and ``python -m repro --schemes`` sweep gets the
+  end-to-end variants for free. Its :class:`~repro.engine.schemes.
+  SchemeResult` decomposes ``duration_s`` exactly into
+  ``identification_s + data_s`` and sums per-tag transmissions across
+  stages for the energy model.
+
+Registered end-to-end variants: ``buzz-e2e`` (three-stage identification
+→ rateless data phase on estimated channels), ``silenced-e2e`` (same
+identification → ACK-silenced data phase), and ``gen2-tdma-e2e`` (FSA
+inventory → TDMA transfer) — today's RFID session as the baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.config import BuzzConfig
+from repro.core.identification import ChannelEstimates, IdentificationResult, identify
+from repro.engine.schemes import SchemeResult, get_scheme, register_scheme
+from repro.gen2.btree import BTreeConfig, run_btree_inventory
+from repro.gen2.fsa import FsaConfig, run_fsa_inventory
+from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
+from repro.nodes.population import TagPopulation
+from repro.nodes.reader import ReaderFrontEnd
+
+__all__ = [
+    "StageAccount",
+    "SessionState",
+    "SessionStage",
+    "IdentificationStage",
+    "DataStage",
+    "SessionPipeline",
+]
+
+#: Identification protocols :class:`IdentificationStage` knows how to run.
+IDENTIFICATION_METHODS = ("buzz", "fsa", "fsa-khat", "btree")
+
+
+@dataclass(frozen=True)
+class StageAccount:
+    """What one stage cost: the pipeline's per-stage ledger entry.
+
+    Attributes
+    ----------
+    stage:
+        The stage's display name (e.g. ``identify-buzz``).
+    kind:
+        ``"identification"`` or ``"data"`` — which
+        :class:`~repro.engine.schemes.SchemeResult` bucket the airtime
+        lands in.
+    duration_s:
+        Wall-clock airtime the stage consumed.
+    slots_used:
+        Air slots the stage consumed (scheme-specific meaning for data
+        stages, protocol slots for identification).
+    transmissions:
+        Per-tag transmission counts within this stage (energy model).
+    retries:
+        Protocol restarts within the stage (duplicate-id restarts for
+        Buzz identification, extra inventory rounds for FSA).
+    """
+
+    stage: str
+    kind: str
+    duration_s: float
+    slots_used: int
+    transmissions: np.ndarray
+    retries: int = 0
+
+
+@dataclass
+class SessionState:
+    """Mutable context threaded through a session's stages.
+
+    Identification stages *write* the reader's recovered view
+    (``estimates``, ``k_hat``, ``id_space``, the full protocol trace in
+    ``identification``); data stages *read* it. A fresh state holds only
+    the grid cell's inputs, so a pipeline run is a pure function of
+    ``(population, front_end, rng, config, max_slots)`` — the engine's
+    determinism contract.
+    """
+
+    population: TagPopulation
+    front_end: ReaderFrontEnd
+    rng: np.random.Generator
+    config: BuzzConfig = field(default_factory=BuzzConfig)
+    max_slots: Optional[int] = None
+    timing: LinkTiming = GEN2_DEFAULT_TIMING
+
+    #: The reader's post-identification view (recovered ids + estimated
+    #: channels); ``None`` until a channel-estimating stage ran.
+    estimates: Optional[ChannelEstimates] = None
+    #: The reader's working estimate of K (drives the data-phase density).
+    k_hat: Optional[int] = None
+    #: Temporary-id space of the last identification attempt (ACK pricing).
+    id_space: Optional[int] = None
+    #: Full three-stage protocol trace, when the Buzz identifier ran.
+    identification: Optional[IdentificationResult] = None
+    #: The data stage's unified record, once it ran.
+    data: Optional[SchemeResult] = None
+
+
+@runtime_checkable
+class SessionStage(Protocol):
+    """The contract every composable session stage satisfies."""
+
+    name: str
+    kind: str
+
+    def run(self, state: SessionState) -> StageAccount:
+        """Advance the session, mutating ``state``, and account the cost."""
+        ...
+
+
+class IdentificationStage:
+    """The session's first act: figure out who wants to talk.
+
+    Parameters
+    ----------
+    method:
+        ``"buzz"`` — the three-stage compressive-sensing protocol,
+        including the duplicate-id retry loop; the only method that
+        produces channel estimates. ``"fsa"`` — the Gen-2 inventory.
+        ``"fsa-khat"`` — FSA seeded with a previous Buzz stage's K̂ (reads
+        ``state.identification``; Fig. 14's third protocol). ``"btree"``
+        — the binary splitting tree.
+    max_attempts:
+        Restart budget for the Buzz retry loop.
+    """
+
+    kind = "identification"
+
+    def __init__(self, method: str = "buzz", max_attempts: int = 3):
+        if method not in IDENTIFICATION_METHODS:
+            raise ValueError(
+                f"unknown identification method {method!r}; "
+                f"known: {', '.join(IDENTIFICATION_METHODS)}"
+            )
+        self.method = method
+        self.max_attempts = max_attempts
+        self.name = f"identify-{method}"
+
+    def run(self, state: SessionState) -> StageAccount:
+        return getattr(self, "_run_" + self.method.replace("-", "_"))(state)
+
+    # ---- Buzz (§5): the only method that estimates channels -----------------
+    def _run_buzz(self, state: SessionState) -> StageAccount:
+        ident = identify(
+            state.population.tags,
+            state.front_end,
+            state.rng,
+            config=state.config,
+            timing=state.timing,
+            max_attempts=self.max_attempts,
+        )
+        state.identification = ident
+        state.estimates = ident.estimates
+        # The reader's working K̂ for the data phase is what it *recovered*
+        # (each recovered id is one talker); Stage 1's coarse estimate only
+        # seeds the protocol's sizing decisions.
+        state.k_hat = max(1, int(ident.recovered_ids.size))
+        state.id_space = state.config.temp_id_space(max(1, ident.k_estimate.k_hat))
+        return StageAccount(
+            stage=self.name,
+            kind=self.kind,
+            duration_s=ident.duration_s,
+            slots_used=ident.slots_used,
+            transmissions=ident.transmissions.copy(),
+            retries=ident.attempts - 1,
+        )
+
+    # ---- Gen-2 alternatives --------------------------------------------------
+    def _fsa_account(self, state: SessionState, inv, extra_s: float = 0.0,
+                     extra_slots: int = 0) -> StageAccount:
+        k = len(state.population)
+        # The inventory resolves every tag's identity, so the reader knows
+        # K exactly afterwards — but learns no channels.
+        state.k_hat = k
+        # Every unresolved tag replies once per processed occupied slot;
+        # the run only records the total, so the per-tag split is even
+        # (deterministic remainder-first) — accurate in aggregate, which
+        # is all the energy model consumes.
+        replies = int(inv.total_replies)
+        base, remainder = divmod(replies, k) if k else (0, 0)
+        transmissions = np.full(k, base, dtype=int)
+        transmissions[:remainder] += 1
+        return StageAccount(
+            stage=self.name,
+            kind=self.kind,
+            duration_s=inv.total_time_s + extra_s,
+            slots_used=int(getattr(inv, "slots_used", getattr(inv, "queries", 0)))
+            + extra_slots,
+            transmissions=transmissions,
+            retries=max(0, int(getattr(inv, "rounds", 1)) - 1),
+        )
+
+    def _run_fsa(self, state: SessionState) -> StageAccount:
+        inv = run_fsa_inventory(
+            FsaConfig(n_tags=len(state.population)), state.rng
+        )
+        return self._fsa_account(state, inv)
+
+    def _run_fsa_khat(self, state: SessionState) -> StageAccount:
+        """FSA seeded with Buzz's Stage-1 estimate (paper §10).
+
+        Requires a previous Buzz stage on the same state: pays that
+        stage's K-estimation slots again (the FSA reader must run Stage 1
+        itself), then starts at ``Q = log2 K̂`` with an id space sized like
+        Buzz's.
+        """
+        ident = state.identification
+        if ident is None:
+            raise RuntimeError(
+                "fsa-khat needs a prior Buzz identification stage on this "
+                "state (it seeds from its Stage-1 estimate)"
+            )
+        k_hat = max(1, ident.k_estimate.k_hat)
+        stage1_slots = ident.k_estimate.slots_used
+        stage1_s = stage1_slots * state.timing.uplink_symbol_s()
+        id_bits = max(6, math.ceil(math.log2(state.config.temp_id_space(k_hat))))
+        inv = run_fsa_inventory(
+            FsaConfig(
+                n_tags=len(state.population),
+                initial_q=math.log2(max(2, k_hat)),
+                id_bits=id_bits,
+                ack_bits=id_bits + 2,  # the ACK echoes the shorter id
+            ),
+            state.rng,
+        )
+        return self._fsa_account(state, inv, extra_s=stage1_s, extra_slots=stage1_slots)
+
+    def _run_btree(self, state: SessionState) -> StageAccount:
+        inv = run_btree_inventory(
+            BTreeConfig(n_tags=len(state.population)), state.rng
+        )
+        return self._fsa_account(state, inv)
+
+
+class DataStage:
+    """The session's second act: transfer every identified tag's message.
+
+    Wraps any registered :class:`~repro.engine.schemes.UplinkScheme`.
+    When the wrapped scheme exposes ``run_session_data`` *and* the state
+    carries channel estimates, the stage threads the recovered ids and
+    estimated channels into it — the decoder then works from what
+    identification actually delivered, estimation error included. Other
+    schemes (TDMA, CDMA — identity-agnostic transfers) run their plain
+    ``run`` path.
+    """
+
+    kind = "data"
+
+    def __init__(self, scheme: str):
+        get_scheme(scheme)  # fail fast on unknown names
+        self.scheme = scheme
+        self.name = f"data-{scheme}"
+
+    def run(self, state: SessionState) -> StageAccount:
+        scheme = get_scheme(self.scheme)
+        if state.estimates is not None and hasattr(scheme, "run_session_data"):
+            result = scheme.run_session_data(
+                state.population,
+                state.front_end,
+                state.rng,
+                config=state.config,
+                max_slots=state.max_slots,
+                decoder_seeds=state.estimates.seeds(),
+                channel_estimates=state.estimates.values,
+                k_hat=state.k_hat,
+                id_space=state.id_space,
+            )
+        else:
+            result = scheme.run(
+                state.population,
+                state.front_end,
+                state.rng,
+                config=state.config,
+                max_slots=state.max_slots,
+            )
+        state.data = result
+        return StageAccount(
+            stage=self.name,
+            kind=self.kind,
+            duration_s=result.duration_s,
+            slots_used=result.slots_used,
+            transmissions=np.asarray(result.transmissions, dtype=int),
+        )
+
+
+class SessionPipeline:
+    """A complete reader session as one registry-compatible scheme.
+
+    Runs its stages in order over one :class:`SessionState`, then folds
+    the data stage's record and the per-stage ledger into a single
+    :class:`~repro.engine.schemes.SchemeResult`:
+
+    * ``duration_s`` is the exact float sum ``identification_s + data_s``;
+    * ``transmissions`` sums each tag's reflections across all stages, so
+      the Fig.-13 energy model prices the whole session;
+    * ``retries`` counts identification restarts.
+
+    The pipeline draws nothing itself and consumes the cell generator
+    strictly stage by stage, so campaigns over end-to-end schemes keep the
+    engine's serial ≡ parallel bit-identity and per-cell cacheability.
+    """
+
+    def __init__(self, name: str, stages: Sequence[SessionStage]):
+        if not stages:
+            raise ValueError("a session needs at least one stage")
+        if not any(s.kind == "data" for s in stages):
+            raise ValueError("a session needs a data stage to produce a result")
+        self.name = name
+        self.stages = tuple(stages)
+
+    def run(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int] = None,
+    ) -> SchemeResult:
+        # Both stage families price airtime off the Gen-2 default timing
+        # (the data schemes' drivers hard-code it), so the pipeline pins
+        # the same model rather than offering a knob only half the session
+        # would honour.
+        state = SessionState(
+            population=population,
+            front_end=front_end,
+            rng=rng,
+            config=config,
+            max_slots=max_slots,
+            timing=GEN2_DEFAULT_TIMING,
+        )
+        accounts = [stage.run(state) for stage in self.stages]
+        if state.data is None:  # pragma: no cover - guarded in __init__
+            raise RuntimeError("no data stage produced a result")
+        identification_s = math.fsum(
+            a.duration_s for a in accounts if a.kind == "identification"
+        )
+        data_s = math.fsum(a.duration_s for a in accounts if a.kind == "data")
+        retries = sum(a.retries for a in accounts)
+        transmissions = np.zeros(len(population), dtype=int)
+        for account in accounts:
+            transmissions += account.transmissions
+        return replace(
+            state.data,
+            scheme=self.name,
+            duration_s=identification_s + data_s,
+            transmissions=transmissions,
+            identification_s=identification_s,
+            data_s=data_s,
+            retries=retries,
+        )
+
+
+# ---- the end-to-end variants every campaign can sweep -------------------------
+register_scheme(
+    SessionPipeline("buzz-e2e", (IdentificationStage("buzz"), DataStage("buzz")))
+)
+register_scheme(
+    SessionPipeline(
+        "silenced-e2e", (IdentificationStage("buzz"), DataStage("silenced"))
+    )
+)
+register_scheme(
+    SessionPipeline("gen2-tdma-e2e", (IdentificationStage("fsa"), DataStage("tdma")))
+)

@@ -19,5 +19,6 @@ version.
 | ``fig12_challenging``     | Fig. 12 challenging channels       |
 | ``fig13_energy``          | Fig. 13 energy per query           |
 | ``fig14_identification``  | Fig. 14 identification time vs K   |
+| ``fig15_end_to_end``      | Complete sessions (repo extension) |
 | ``headline``              | §1/§10 overall 3.5× gain           |
 """

@@ -57,6 +57,9 @@ class BTreeResult:
     empty_queries: int
     success_queries: int
     max_depth: int
+    #: Total tag replies across every query (all prefix-matching unresolved
+    #: tags reply) — the inventory's tag-side energy driver.
+    total_replies: int = 0
 
 
 def run_btree_inventory(config: BTreeConfig, rng: np.random.Generator) -> BTreeResult:
@@ -76,7 +79,7 @@ def run_btree_inventory(config: BTreeConfig, rng: np.random.Generator) -> BTreeR
     # Stack of (prefix_value, prefix_len).
     stack: List[tuple] = [(0, 0)]
     identified = 0
-    queries = collisions = empties = successes = 0
+    queries = collisions = empties = successes = replies = 0
     total_time = timing.query_duration_s()
     resolved = np.zeros(config.n_tags, dtype=bool)
     max_depth = 0
@@ -94,6 +97,7 @@ def run_btree_inventory(config: BTreeConfig, rng: np.random.Generator) -> BTreeR
         command_bits = 4 + depth
         reply_bits = config.id_bits - depth
         total_time += timing.downlink_s(command_bits) + timing.t1_s
+        replies += int(matches.size)
         if matches.size == 0:
             empties += 1
             total_time += timing.t3_s
@@ -122,4 +126,5 @@ def run_btree_inventory(config: BTreeConfig, rng: np.random.Generator) -> BTreeR
         empty_queries=empties,
         success_queries=successes,
         max_depth=max_depth,
+        total_replies=replies,
     )

@@ -81,6 +81,9 @@ class FsaResult:
     success_slots: int
     rounds: int
     q_trace: List[int] = field(default_factory=list)
+    #: Total tag replies across every processed slot (success + collision
+    #: participants) — the inventory's tag-side energy driver.
+    total_replies: int = 0
 
     @property
     def efficiency(self) -> float:
@@ -104,7 +107,7 @@ def run_fsa_inventory(config: FsaConfig, rng: np.random.Generator) -> FsaResult:
     remaining = config.n_tags
     identified = 0
     total_time = timing.query_duration_s()  # round-opening Query
-    slots = empties = collisions = successes = rounds = 0
+    slots = empties = collisions = successes = rounds = replies = 0
     q_trace: List[int] = [q_algo.q]
     id_space = 1 << config.id_bits
 
@@ -124,6 +127,7 @@ def run_fsa_inventory(config: FsaConfig, rng: np.random.Generator) -> FsaResult:
             if slots >= config.max_slots:
                 break
             occupancy = int(counts[slot_index])
+            replies += occupancy
             if occupancy == 0:
                 outcome = SlotOutcome.EMPTY
                 empties += 1
@@ -158,4 +162,5 @@ def run_fsa_inventory(config: FsaConfig, rng: np.random.Generator) -> FsaResult:
         success_slots=successes,
         rounds=rounds,
         q_trace=q_trace,
+        total_replies=replies,
     )

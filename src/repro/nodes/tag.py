@@ -26,7 +26,16 @@ from repro.nodes.energy import CapacitorEnergyModel, EnergyProfile, MOO_ENERGY_P
 from repro.phy.sync import ClockModel
 from repro.utils.bits import as_bits
 
-__all__ = ["TagKind", "BackscatterTag", "SALT_KEST", "SALT_BUCKET", "SALT_CSPATTERN", "SALT_DATA"]
+__all__ = [
+    "TagKind",
+    "BackscatterTag",
+    "bucket_hash",
+    "bucket_hash_array",
+    "SALT_KEST",
+    "SALT_BUCKET",
+    "SALT_CSPATTERN",
+    "SALT_DATA",
+]
 
 #: Decision salts — one per protocol phase, so the same temporary id yields
 #: independent pseudorandom streams in each phase. The reader uses the same
@@ -153,3 +162,21 @@ def bucket_hash(temp_id: int, n_buckets: int) -> int:
     if n_buckets <= 0:
         raise ValueError("n_buckets must be positive")
     return int(_mix64((int(temp_id) << 8) ^ SALT_BUCKET) % n_buckets)
+
+
+def bucket_hash_array(temp_ids: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Vectorized :func:`bucket_hash` over an id array.
+
+    The reader evaluates the bucket hash for *every* candidate id in the
+    reduced space (``a·c·K̂`` of them), so the per-id Python call is the
+    identification protocol's reader-side hot loop; uint64 arithmetic wraps
+    modulo 2⁶⁴ exactly like the scalar path's masking.
+    """
+    from repro.coding.prng import _mix64_array
+
+    if n_buckets <= 0:
+        raise ValueError("n_buckets must be positive")
+    ids = np.asarray(temp_ids, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = _mix64_array((ids << np.uint64(8)) ^ np.uint64(SALT_BUCKET))
+    return (mixed % np.uint64(n_buckets)).astype(int)

@@ -98,3 +98,33 @@ class TestIdentify:
         result = identify(pop.tags, fe, np.random.default_rng(90))
         with pytest.raises(KeyError):
             result.channel_for(10**9)
+
+    def test_transmissions_account_every_stage(self):
+        """Per-tag counts: ≥ 1 bucket reflection per attempt, plus Stage-1
+        and Stage-3 slots — never zero, never more than the slots used."""
+        pop, fe = _setup(8, 40)
+        result = identify(pop.tags, fe, np.random.default_rng(40))
+        assert result.transmissions.shape == (8,)
+        assert np.all(result.transmissions >= result.attempts)
+        assert np.all(result.transmissions <= result.slots_used)
+
+
+class TestChannelEstimates:
+    def test_estimates_object_mirrors_result(self):
+        pop, fe = _setup(6, 50)
+        result = identify(pop.tags, fe, np.random.default_rng(50))
+        est = result.estimates
+        assert len(est) == result.recovered_ids.size
+        assert est.seeds() == [int(i) for i in result.recovered_ids]
+        for temp_id in est.seeds():
+            assert est.channel_for(temp_id) == result.channel_for(temp_id)
+            assert temp_id in est
+        assert 10**9 not in est
+        with pytest.raises(KeyError):
+            est.channel_for(10**9)
+
+    def test_length_mismatch_rejected(self):
+        from repro.core.identification import ChannelEstimates
+
+        with pytest.raises(ValueError):
+            ChannelEstimates(ids=np.array([1, 2]), values=np.array([1.0 + 0j]))

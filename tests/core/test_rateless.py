@@ -141,6 +141,148 @@ class TestRunRatelessUplink:
         assert result.decoded_mask.all()
 
 
+def _entangled_mask_reference(decoder, d):
+    """The pre-vectorization O(free²) scalar scan, kept as the oracle."""
+    mask = np.zeros(decoder.k, dtype=bool)
+    weights = d.sum(axis=0)
+    threshold = 4.0 * decoder.noise_std
+    noise_power = max(decoder.noise_std**2, 1e-18)
+    for i in range(decoder.k):
+        if decoder._decoded[i] or weights[i] == 0:
+            continue
+        for j in range(i + 1, decoder.k):
+            if decoder._decoded[j] or weights[j] == 0:
+                continue
+            degenerate = min(
+                abs(decoder.h[i] + decoder.h[j]), abs(decoder.h[i] - decoder.h[j])
+            )
+            if degenerate >= threshold or degenerate >= 0.5 * min(
+                abs(decoder.h[i]), abs(decoder.h[j])
+            ):
+                continue
+            only_i = (d[:, i] == 1) & (d[:, j] == 0)
+            only_j = (d[:, j] == 1) & (d[:, i] == 0)
+            evidence = (
+                int(only_i.sum()) * abs(decoder.h[i]) ** 2
+                + int(only_j.sum()) * abs(decoder.h[j]) ** 2
+            ) / noise_power
+            if evidence < 16.0:
+                mask[i] = mask[j] = True
+    return mask
+
+
+class TestEntangledMaskVectorization:
+    """The batched upper-triangle pair scan must equal the scalar loop."""
+
+    def _decoder(self, k, seed, channels=None):
+        rng = np.random.default_rng(seed)
+        if channels is None:
+            channels = rng.standard_normal(k) + 1j * rng.standard_normal(k)
+        dec = RatelessDecoder(list(range(100, 100 + k)), channels, 12, 0.4,
+                              noise_std=0.1)
+        return dec, rng
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_on_random_draws(self, seed):
+        dec, rng = self._decoder(10, seed)
+        d = (rng.random((15, 10)) < 0.4).astype(np.uint8)
+        dec._decoded[rng.integers(0, 10, size=2)] = True  # some frozen nodes
+        assert np.array_equal(dec._entangled_mask(d), _entangled_mask_reference(dec, d))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference_with_near_cancelling_pairs(self, seed):
+        """The veto's whole reason to exist: h_i ≈ −h_j pairs (and a near-
+        duplicate pair) with overlapping schedules must flag identically."""
+        rng = np.random.default_rng(1000 + seed)
+        base = rng.standard_normal() + 1j * rng.standard_normal()
+        channels = np.array([
+            base,
+            -base + 0.01 * (rng.standard_normal() + 1j * rng.standard_normal()),
+            0.8j,
+            0.8j + 0.005,
+            1.5,
+        ])
+        dec, _ = self._decoder(5, seed, channels=channels)
+        d = (rng.random((8, 5)) < 0.6).astype(np.uint8)
+        got = dec._entangled_mask(d)
+        want = _entangled_mask_reference(dec, d)
+        assert np.array_equal(got, want)
+        assert want[:2].any() or d[:, :2].sum() == 0 or (d[:, 0] != d[:, 1]).sum() >= 2
+
+    def test_zero_weight_and_decoded_nodes_never_flagged(self):
+        dec, rng = self._decoder(6, 42)
+        dec.h[1] = -dec.h[0]  # force a degenerate pair
+        d = (rng.random((10, 6)) < 0.5).astype(np.uint8)
+        d[:, 2] = 0  # node 2 never transmitted
+        dec._decoded[3] = True
+        mask = dec._entangled_mask(d)
+        assert not mask[2] and not mask[3]
+        assert np.array_equal(mask, _entangled_mask_reference(dec, d))
+
+
+class TestDecoderView:
+    """run_rateless_uplink with a non-oracle reader view (decoder_seeds)."""
+
+    def test_identity_view_matches_default_path(self):
+        """Passing the tags' own ids + true channels as the view must
+        reproduce the oracle run bit for bit."""
+        pop = _population(6, 31)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        baseline = run_rateless_uplink(pop.tags, fe, np.random.default_rng(8))
+        viewed = run_rateless_uplink(
+            pop.tags,
+            fe,
+            np.random.default_rng(8),
+            decoder_seeds=[t.temp_id for t in pop.tags],
+            channel_estimates=pop.channels,
+        )
+        assert np.array_equal(baseline.decoded_mask, viewed.decoded_mask)
+        assert np.array_equal(baseline.messages, viewed.messages)
+        assert baseline.slots_used == viewed.slots_used
+        assert baseline.duration_s == viewed.duration_s
+        assert np.array_equal(baseline.transmissions, viewed.transmissions)
+
+    def test_missing_id_counts_as_loss(self):
+        """A tag whose id identification missed transmits unexplained
+        energy; its message must be reported lost, not hallucinated."""
+        pop = _population(5, 32)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        recovered = pop.tags[:-1]  # reader never learned the last tag
+        result = run_rateless_uplink(
+            pop.tags,
+            fe,
+            np.random.default_rng(9),
+            k_hat=len(recovered),
+            decoder_seeds=[t.temp_id for t in recovered],
+            channel_estimates=[t.channel for t in recovered],
+            max_slots=60,
+        )
+        assert not result.decoded_mask[-1]
+        assert result.message_loss >= 1
+
+    def test_empty_view_loses_everything_immediately(self):
+        pop = _population(4, 33)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_uplink(
+            pop.tags,
+            fe,
+            np.random.default_rng(10),
+            decoder_seeds=[],
+            channel_estimates=[],
+        )
+        assert result.slots_used == 0
+        assert result.message_loss == 4
+        assert not result.decoded_mask.any()
+
+    def test_decoder_seeds_without_estimates_rejected(self):
+        pop = _population(3, 34)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        with pytest.raises(ValueError, match="requires channel_estimates"):
+            run_rateless_uplink(
+                pop.tags, fe, np.random.default_rng(0), decoder_seeds=[1, 2, 3]
+            )
+
+
 class TestVerificationSafety:
     def test_no_wrong_freezes_across_seeds(self):
         """The corroborated-CRC rule's whole point: when everything is

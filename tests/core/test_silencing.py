@@ -66,3 +66,60 @@ class TestSilencedRun:
             pop.tags, fe, np.random.default_rng(3), max_slots=3
         )
         assert result.slots_used <= 3
+
+
+class TestSilencedDecoderView:
+    """The non-oracle reader view threaded by the session pipeline."""
+
+    def test_identity_view_matches_default_path(self):
+        pop = _population(6, 5)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        baseline = run_rateless_with_silencing(pop.tags, fe, np.random.default_rng(3))
+        viewed = run_rateless_with_silencing(
+            pop.tags,
+            fe,
+            np.random.default_rng(3),
+            decoder_seeds=[t.temp_id for t in pop.tags],
+            channel_estimates=pop.channels,
+        )
+        assert np.array_equal(baseline.decoded_mask, viewed.decoded_mask)
+        assert np.array_equal(baseline.messages, viewed.messages)
+        assert baseline.slots_used == viewed.slots_used
+        assert baseline.duration_s == viewed.duration_s
+        assert baseline.ack_overhead_s == viewed.ack_overhead_s
+        assert np.array_equal(baseline.transmissions, viewed.transmissions)
+
+    def test_missing_id_counts_as_loss_and_keeps_transmitting(self):
+        """An unrecovered tag never hears its ACK, so it transmits to the
+        end and its message is lost."""
+        pop = _population(5, 6)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        recovered = pop.tags[:-1]
+        result = run_rateless_with_silencing(
+            pop.tags,
+            fe,
+            np.random.default_rng(4),
+            k_hat=len(recovered),
+            decoder_seeds=[t.temp_id for t in recovered],
+            channel_estimates=[t.channel for t in recovered],
+            max_slots=60,
+        )
+        assert not result.decoded_mask[-1]
+        assert result.message_loss >= 1
+        # The orphan tag was never silenced: it transmitted in roughly
+        # density × slots of the run, not zero.
+        assert result.transmissions[-1] > 0
+
+    def test_empty_view_loses_everything_immediately(self):
+        pop = _population(4, 7)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        result = run_rateless_with_silencing(
+            pop.tags,
+            fe,
+            np.random.default_rng(5),
+            decoder_seeds=[],
+            channel_estimates=[],
+        )
+        assert result.slots_used == 0
+        assert result.message_loss == 4
+        assert result.ack_overhead_s == 0.0

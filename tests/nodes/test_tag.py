@@ -96,6 +96,21 @@ class TestBucketHash:
         with pytest.raises(ValueError):
             bucket_hash(1, 0)
 
+    def test_array_hash_matches_scalar(self):
+        """The reader's vectorized candidate-elimination hash must equal the
+        scalar tag-side hash bit for bit over the whole id space."""
+        from repro.nodes.tag import bucket_hash_array
+
+        ids = np.arange(4096)
+        batched = bucket_hash_array(ids, 37)
+        assert np.array_equal(batched, [bucket_hash(int(i), 37) for i in ids])
+
+    def test_array_hash_invalid_bucket_count(self):
+        from repro.nodes.tag import bucket_hash_array
+
+        with pytest.raises(ValueError):
+            bucket_hash_array(np.arange(4), 0)
+
 
 class TestEnergyIntegration:
     def test_spend_debits_capacitor(self):

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.phy.noise import awgn
 from repro.sensing.matrices import bernoulli_matrix
@@ -94,15 +94,35 @@ class TestRecoverSparseBp:
 
     @settings(max_examples=10, deadline=None)
     @given(st.integers(min_value=0, max_value=10_000))
+    @example(1660)  # draws a candidate column bit-identical to a true one
     def test_bp_support_sound_across_draws(self, seed):
-        """Across random draws: no spurious entries, and at most one true
-        entry missed (a low-weight column can be statistically
-        unrecoverable — the protocol handles that case by restarting)."""
+        """Across random draws: no noise-driven spurious entries, and at
+        most one true entry missed (a low-weight column can be
+        statistically unrecoverable — the protocol handles that case by
+        restarting).
+
+        One draw class is exempt from strict soundness: a low-weight
+        Bernoulli matrix can contain a candidate column *bit-identical* to
+        a true column (seed 1660: columns 16 and 47). The two ids are then
+        indistinguishable on the air — no solver can prefer the true one —
+        so a recovered alias of a missed true column counts as that
+        column, mirroring how the protocol treats duplicate patterns
+        (CRC chaos in the data phase → restart)."""
         rng = np.random.default_rng(seed)
         a, z, support = _problem(rng, magnitudes=(0.8, 2.0))
         y = a @ z + awgn(a.shape[0], 0.03, rng)
         result = recover_sparse(a, y, sparsity=4, method="bp", noise_std=0.03)
         recovered = set(result.support.tolist())
         truth = set(support.tolist())
-        assert recovered <= truth
-        assert len(truth - recovered) <= 1
+        missed = truth - recovered
+        for entry in sorted(recovered - truth):
+            twin = next(
+                (m for m in sorted(missed) if np.array_equal(a[:, entry], a[:, m])),
+                None,
+            )
+            assert twin is not None, (
+                f"seed {seed}: spurious entry {entry} is not an exact alias "
+                f"of any missed true column"
+            )
+            missed.discard(twin)
+        assert len(missed) <= 1

@@ -20,7 +20,7 @@ class TestCli:
     def test_registry_covers_all_figures(self):
         expected = {
             "toy", "fig2", "fig3", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "fig13", "fig14", "headline",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "headline",
         }
         assert set(_EXPERIMENTS) == expected
 
@@ -54,3 +54,19 @@ class TestCli:
     def test_unknown_scheme_flag_rejected(self):
         with pytest.raises(SystemExit):
             main(["--quick", "fig10", "--schemes", "aloha"])
+
+    def test_fig15_smoke_mode(self, capsys):
+        """The CI smoke leg: tiny K, two location seeds, end-to-end schemes
+        (including their stage decomposition) through the real CLI."""
+        assert main(["--quick", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "buzz-e2e" in out and "gen2-tdma-e2e" in out
+        assert "+" in out  # staged cells render total (identification+data)
+
+    def test_fig15_e2e_scheme_with_dense_scenario(self, capsys):
+        """The README quickstart: an end-to-end scheme on the dense class."""
+        assert main(
+            ["--quick", "fig15", "--schemes", "buzz-e2e", "--scenario", "dense"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "buzz-e2e" in out
