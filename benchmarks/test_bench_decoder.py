@@ -28,6 +28,15 @@ _SLOTS = 70
 _RESTARTS = 4
 
 
+def _median_time(fn, rounds):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
 def _instance():
     """One 50-tag location draw with a realistic sparse-D collision stack."""
     seeds = SeedSequenceFactory(77)
@@ -75,17 +84,40 @@ def test_bench_batched_decode_kernel(benchmark):
     result = benchmark.pedantic(batched, rounds=1, iterations=1, warmup_rounds=0)
     assert np.array_equal(result, reference), "batched kernel diverged from per-position decoder"
 
-    def _median_time(fn, rounds):
-        samples = []
-        for _ in range(rounds):
-            start = time.perf_counter()
-            fn()
-            samples.append(time.perf_counter() - start)
-        return float(np.median(samples))
-
     scalar_s = _median_time(per_position, rounds=1)
     batched_s = _median_time(batched, rounds=3)
     speedup = scalar_s / batched_s
     print(f"\nBP decode, K={k}, P={p}, L={_SLOTS}: per-position {scalar_s * 1e3:.0f} ms, "
           f"batched {batched_s * 1e3:.0f} ms, speedup {speedup:.0f}x")
+    assert speedup >= 5.0
+
+
+def test_bench_crc_check_matrix(benchmark):
+    """Batched CRC ≡ per-node scalar loop, and ≥ 5× faster at K = 50.
+
+    This is `_verify_and_freeze`'s former per-node CRC loop: every unfrozen
+    candidate row CRC-checked once per decode round.
+    """
+    from repro.coding.crc import CRC5_GEN2, crc_check, crc_check_matrix
+    from repro.utils.bits import random_bits
+
+    rng = np.random.default_rng(9)
+    estimates = random_bits(_K * 37, rng).reshape(_K, 37)
+
+    def scalar():
+        return np.array([crc_check(row, CRC5_GEN2) for row in estimates])
+
+    def batched():
+        return crc_check_matrix(estimates, CRC5_GEN2)
+
+    reference = scalar()
+    batched()  # prime the cached remainder table outside the timed region
+    result = benchmark.pedantic(batched, rounds=3, iterations=5, warmup_rounds=1)
+    assert np.array_equal(result, reference), "batched CRC diverged from scalar loop"
+
+    scalar_s = _median_time(scalar, rounds=3)
+    batched_s = _median_time(batched, rounds=9)
+    speedup = scalar_s / batched_s
+    print(f"\nCRC check, K={_K}, P=37: scalar {scalar_s * 1e3:.2f} ms, "
+          f"batched {batched_s * 1e3:.3f} ms, speedup {speedup:.0f}x")
     assert speedup >= 5.0

@@ -13,11 +13,13 @@ Usage::
     python -m repro --quick --out results/   # also write each report to a file
 
 ``--jobs`` and ``--cache-dir`` apply to every campaign-backed experiment
-(fig10–fig13, fig15 and headline); ``--schemes`` and ``--scenario`` to the
-per-scheme figures (fig10, fig11, fig13, fig15 — fig12's band sweep and
-headline's composition fix their own grids). fig15 sweeps the end-to-end
-session schemes (``buzz-e2e``, ``silenced-e2e``, ``gen2-tdma-e2e``)
-against the oracle ``buzz``. Experiments a flag does not
+(fig10–fig13, fig15, fig16 and headline); ``--schemes`` and ``--scenario``
+to the per-scheme figures (fig10, fig11, fig13, fig15 — fig12's band sweep,
+fig16's mobility grid and headline's composition fix their own scenarios).
+fig15 sweeps the end-to-end session schemes (``buzz-e2e``,
+``silenced-e2e``, ``gen2-tdma-e2e``) against the oracle ``buzz``; fig16
+sweeps drift × churn mobility, static ``buzz-e2e`` vs ``buzz-adaptive``
+(mid-session re-identification) vs the oracle. Experiments a flag does not
 apply to ignore it with a note. Parallel runs are bit-identical to serial
 ones for the same seed, and a second run against the same ``--cache-dir``
 executes zero new campaign cells.
@@ -42,6 +44,7 @@ from repro.experiments import (
     fig13_energy,
     fig14_identification,
     fig15_end_to_end,
+    fig16_mobility,
     headline,
     toy_example,
 )
@@ -88,6 +91,20 @@ _EXPERIMENTS = {
         # that keeps the end-to-end path exercised on every push.
         {"tag_counts": (2, 4), "n_locations": 2, "n_traces": 1},
         {"jobs", "schemes", "scenario", "cache_dir"},
+    ),
+    "fig16": (
+        fig16_mobility,
+        {},
+        # Smoke mode: one nonzero drift point, tiny grid — the CI leg that
+        # keeps the mobile session path exercised on every push.
+        {
+            "n_tags": 10,
+            "drift_rates": (0.0, 12.0),
+            "churn_rates": (0.0,),
+            "n_locations": 2,
+            "n_traces": 1,
+        },
+        {"jobs", "schemes", "cache_dir"},
     ),
     "headline": (
         headline,

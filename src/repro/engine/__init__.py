@@ -16,7 +16,10 @@
 * :mod:`repro.engine.session` — the session pipeline layer: composable
   identification + data stages, registering the end-to-end variants
   (``buzz-e2e``, ``silenced-e2e``, ``gen2-tdma-e2e``) that thread
-  *recovered* ids and *estimated* channels into the data phase.
+  *recovered* ids and *estimated* channels into the data phase, plus the
+  mobility-aware adaptive variants (``buzz-adaptive``,
+  ``silenced-adaptive``) that re-identify mid-session when the data
+  phase stalls.
 
 The classic entry point :func:`repro.network.campaign.run_campaign` is a
 thin wrapper over this package.
@@ -44,6 +47,7 @@ from repro.engine.schemes import (
     register_scheme,
 )
 from repro.engine.session import (
+    AdaptiveSessionPipeline,
     DataStage,
     IdentificationStage,
     SessionPipeline,
@@ -54,6 +58,7 @@ from repro.engine.session import (
 
 __all__ = [
     "SCHEMES",
+    "AdaptiveSessionPipeline",
     "CampaignCache",
     "CampaignCell",
     "CampaignResult",

@@ -36,7 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = ["CampaignCache", "cell_cache_key"]
 
 #: Bump when the key material or record layout changes incompatibly.
-_CACHE_FORMAT = 1
+#: 2: session records carry data_transmissions/reidentifications, which
+#: the fig13 energy pricing consumes — serving format-1 session cells
+#: would silently mix two pricing models in one figure.
+_CACHE_FORMAT = 2
 
 
 def _scenario_token(scenario) -> dict:

@@ -62,7 +62,10 @@ class SchemeRun:
     ``identification_s``/``data_s``/``retries`` are the stage-resolved
     fields session-pipeline schemes fill in (``duration_s`` is exactly
     their sum); single-phase schemes — and records persisted before the
-    session layer existed — carry ``None``.
+    session layer existed — carry ``None``. ``data_transmissions`` (the
+    data stages' share of ``transmissions``) and ``reidentifications``
+    (mid-session identification re-runs) arrived with the mobility layer
+    and default to ``None`` for every earlier record.
     """
 
     scheme: str
@@ -79,6 +82,8 @@ class SchemeRun:
     identification_s: Optional[float] = None
     data_s: Optional[float] = None
     retries: Optional[int] = None
+    data_transmissions: Optional[np.ndarray] = None
+    reidentifications: Optional[int] = None
 
     @classmethod
     def from_result(cls, result: SchemeResult, cell: "CampaignCell") -> "SchemeRun":
@@ -98,6 +103,8 @@ class SchemeRun:
             identification_s=result.identification_s,
             data_s=result.data_s,
             retries=result.retries,
+            data_transmissions=result.data_transmissions,
+            reidentifications=result.reidentifications,
         )
 
     def to_dict(self) -> dict:
@@ -119,6 +126,12 @@ class SchemeRun:
             else float(self.identification_s),
             "data_s": None if self.data_s is None else float(self.data_s),
             "retries": None if self.retries is None else int(self.retries),
+            "data_transmissions": None
+            if self.data_transmissions is None
+            else [int(t) for t in self.data_transmissions],
+            "reidentifications": None
+            if self.reidentifications is None
+            else int(self.reidentifications),
         }
 
     @classmethod
@@ -131,6 +144,8 @@ class SchemeRun:
         identification_s = data.get("identification_s")
         data_s = data.get("data_s")
         retries = data.get("retries")
+        data_transmissions = data.get("data_transmissions")
+        reidentifications = data.get("reidentifications")
         return cls(
             scheme=str(data["scheme"]),
             location=int(data["location"]),
@@ -146,6 +161,10 @@ class SchemeRun:
             identification_s=None if identification_s is None else float(identification_s),
             data_s=None if data_s is None else float(data_s),
             retries=None if retries is None else int(retries),
+            data_transmissions=None
+            if data_transmissions is None
+            else np.asarray(data_transmissions, dtype=int),
+            reidentifications=None if reidentifications is None else int(reidentifications),
         )
 
 

@@ -63,9 +63,19 @@ class SchemeResult:
         Hamming distance between decoded and true messages.
     identification_s / data_s / retries:
         Stage-resolved accounting, set only by session-pipeline schemes
-        (``*-e2e``): identification airtime, data-phase airtime (their sum
-        is exactly ``duration_s``), and the number of identification
-        restarts. ``None`` for single-phase schemes.
+        (``*-e2e``, ``*-adaptive``): identification airtime, data-phase
+        airtime (their sum is exactly ``duration_s``), and the number of
+        identification restarts. ``None`` for single-phase schemes.
+    data_transmissions:
+        Per-tag transmission counts of the *data* stages alone (session
+        schemes only; ``None`` otherwise). ``transmissions −
+        data_transmissions`` is then the identification reflections — each
+        a single uplink symbol, which the fig13 energy model prices very
+        differently from a P-symbol data transmission.
+    reidentifications:
+        Mid-session identification re-runs an adaptive session performed
+        (0 for a session that never re-identified; ``None`` for
+        single-phase schemes and pre-mobility records).
     """
 
     scheme: str
@@ -79,6 +89,8 @@ class SchemeResult:
     identification_s: Optional[float] = None
     data_s: Optional[float] = None
     retries: Optional[int] = None
+    data_transmissions: Optional[np.ndarray] = None
+    reidentifications: Optional[int] = None
 
 
 @runtime_checkable

@@ -30,6 +30,15 @@ Registered end-to-end variants: ``buzz-e2e`` (three-stage identification
 → rateless data phase on estimated channels), ``silenced-e2e`` (same
 identification → ACK-silenced data phase), and ``gen2-tdma-e2e`` (FSA
 inventory → TDMA transfer) — today's RFID session as the baseline.
+
+On *mobile* populations (scenarios carrying a
+:class:`~repro.phy.channel.MobilityModel`) the rateless-family sessions
+run a mobility-aware path: channels drift block-by-block during the data
+phase, departed tags fall silent, late arrivals wait for the next
+identification. :class:`AdaptiveSessionPipeline` — registered as
+``buzz-adaptive`` / ``silenced-adaptive`` — additionally monitors the
+data phase for verification stalls and re-runs identification mid-session,
+splicing the refreshed estimates into a fresh decoder view.
 """
 
 from __future__ import annotations
@@ -42,12 +51,14 @@ import numpy as np
 
 from repro.core.config import BuzzConfig
 from repro.core.identification import ChannelEstimates, IdentificationResult, identify
+from repro.core.mobile import run_mobile_data_segment
 from repro.engine.schemes import SchemeResult, get_scheme, register_scheme
 from repro.gen2.btree import BTreeConfig, run_btree_inventory
 from repro.gen2.fsa import FsaConfig, run_fsa_inventory
 from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
 from repro.nodes.population import TagPopulation
 from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelTrajectory
 
 __all__ = [
     "StageAccount",
@@ -56,7 +67,12 @@ __all__ = [
     "IdentificationStage",
     "DataStage",
     "SessionPipeline",
+    "AdaptiveSessionPipeline",
 ]
+
+#: Data schemes the mobility-aware session path knows how to drive
+#: slot-by-slot against a drifting field (the rateless family).
+MOBILE_DATA_SCHEMES = ("buzz", "silenced")
 
 #: Identification protocols :class:`IdentificationStage` knows how to run.
 IDENTIFICATION_METHODS = ("buzz", "fsa", "fsa-khat", "btree")
@@ -338,6 +354,14 @@ class SessionPipeline:
         self.name = name
         self.stages = tuple(stages)
 
+    #: Stall monitor (slots without a newly verified message, as a factor
+    #: of the view size) — ``None`` disables it: the static session never
+    #: interrupts its data phase. :class:`AdaptiveSessionPipeline` turns
+    #: it on.
+    stall_slots_factor: Optional[float] = None
+    #: Mid-session identification re-runs the session may perform.
+    max_reidentifications: int = 0
+
     def run(
         self,
         population: TagPopulation,
@@ -346,6 +370,13 @@ class SessionPipeline:
         config: BuzzConfig,
         max_slots: Optional[int] = None,
     ) -> SchemeResult:
+        mobility = getattr(population, "mobility", None)
+        if mobility is not None and not mobility.is_static:
+            mobile = self._mobile_stages()
+            if mobile is not None:
+                return self._run_mobile(
+                    population, front_end, rng, config, max_slots, *mobile
+                )
         # Both stage families price airtime off the Gen-2 default timing
         # (the data schemes' drivers hard-code it), so the pipeline pins
         # the same model rather than offering a knob only half the session
@@ -367,8 +398,11 @@ class SessionPipeline:
         data_s = math.fsum(a.duration_s for a in accounts if a.kind == "data")
         retries = sum(a.retries for a in accounts)
         transmissions = np.zeros(len(population), dtype=int)
+        data_transmissions = np.zeros(len(population), dtype=int)
         for account in accounts:
             transmissions += account.transmissions
+            if account.kind == "data":
+                data_transmissions += account.transmissions
         return replace(
             state.data,
             scheme=self.name,
@@ -377,7 +411,238 @@ class SessionPipeline:
             identification_s=identification_s,
             data_s=data_s,
             retries=retries,
+            data_transmissions=data_transmissions,
         )
+
+    # ---- the mobility-aware session path -------------------------------------
+    def _mobile_stages(self):
+        """``(identification, data)`` when this pipeline can run mobile.
+
+        The mobile path needs channel-estimating identification (Buzz is
+        the only method that produces estimates to go stale) driving a
+        rateless-family data phase it can interleave with the trajectory.
+        Anything else — e.g. the Gen-2 FSA → TDMA session — falls back to
+        the static path, which evaluates the deployment frozen at ``t=0``.
+        """
+        if len(self.stages) != 2:
+            return None
+        ident, data = self.stages
+        if not isinstance(ident, IdentificationStage) or ident.method != "buzz":
+            return None
+        if not isinstance(data, DataStage) or data.scheme not in MOBILE_DATA_SCHEMES:
+            return None
+        return ident, data
+
+    def _make_trajectory(
+        self, population: TagPopulation, rng: np.random.Generator
+    ) -> ChannelTrajectory:
+        """Realise the population's mobility over a dedicated generator.
+
+        Exactly one draw is taken from the cell generator, so a session's
+        remaining randomness is untouched by how far the trajectory is
+        queried. Overridable — the failure-injection tests pin departure
+        schedules here.
+        """
+        return ChannelTrajectory(
+            population.channels,
+            population.mobility,
+            np.random.default_rng(rng.integers(0, 2**63)),
+        )
+
+    def _run_mobile(
+        self,
+        population: TagPopulation,
+        front_end: ReaderFrontEnd,
+        rng: np.random.Generator,
+        config: BuzzConfig,
+        max_slots: Optional[int],
+        ident_stage: "IdentificationStage",
+        data_stage: "DataStage",
+    ) -> SchemeResult:
+        """One session against a drifting, churning field.
+
+        Identify the tags *currently present*, run the data phase from the
+        recovered view while the trajectory keeps moving, and — when the
+        stall monitor trips and the budgets allow — re-identify and splice
+        the refreshed estimates and id set into a fresh decoder view. With
+        the monitor disabled (the static pipelines) the loop body runs
+        exactly once, which is what makes an adaptive session with
+        re-identification turned off bit-identical to its static twin.
+        """
+        timing = GEN2_DEFAULT_TIMING
+        tags = population.tags
+        k = len(population)
+        messages = population.messages
+        silencing = data_stage.scheme == "silenced"
+        trajectory = self._make_trajectory(population, rng)
+        # Identification stages read each tag's channel, so the loop below
+        # writes trajectory snapshots into the tag objects; restore the
+        # t = 0 draw afterwards — a session must not mutate its inputs
+        # (the population is an input to the pure cell function).
+        original_channels = [tag.channel for tag in tags]
+
+        now = 0.0
+        ident_parts: list = []
+        data_parts: list = []
+        transmissions = np.zeros(k, dtype=int)
+        data_transmissions = np.zeros(k, dtype=int)
+        delivered = np.zeros(k, dtype=bool)
+        final_messages = np.zeros_like(messages)
+        retries = 0
+        reidentifications = 0
+        slots_total = 0
+        budget: Optional[int] = None
+
+        try:
+            while True:
+                present = trajectory.active_at(now)
+                present_idx = np.flatnonzero(present)
+                if present_idx.size == 0:
+                    # The reader triggers into an empty field: no reply, no
+                    # candidates, no data phase — the empty-view short-circuit.
+                    ident_parts.append(timing.query_duration_s())
+                    now += timing.query_duration_s()
+                    break
+                # Identification observes the field as it stands now: the
+                # current fading block's channels (block fading holds them for
+                # the short identification exchange) and only the present tags.
+                snapshot = trajectory.channels_at(now)
+                for i in present_idx:
+                    tags[i].channel = complex(snapshot[i])
+                sub_population = TagPopulation(
+                    tags=[tags[i] for i in present_idx],
+                    noise_std=population.noise_std,
+                )
+                sub_state = SessionState(
+                    population=sub_population,
+                    front_end=front_end,
+                    rng=rng,
+                    config=config,
+                    max_slots=max_slots,
+                    timing=timing,
+                )
+                account = ident_stage.run(sub_state)
+                ident_parts.append(account.duration_s)
+                now += account.duration_s
+                retries += account.retries
+                transmissions[present_idx] += account.transmissions
+
+                estimates = sub_state.estimates
+                if estimates is None or len(estimates) == 0:
+                    break  # recovered nobody — no data trigger is worth issuing
+                k_hat = sub_state.k_hat if sub_state.k_hat else len(estimates)
+                if budget is None:
+                    budget = (
+                        max_slots
+                        if max_slots is not None
+                        else config.max_data_slots(max(1, k_hat))
+                    )
+                if budget <= 0:
+                    break
+                participants = np.zeros(k, dtype=bool)
+                participants[present_idx] = True
+                stall_limit = None
+                if self.stall_slots_factor is not None and math.isfinite(
+                    self.stall_slots_factor
+                ):
+                    # Floor of 8: tiny views verify their first message within
+                    # a handful of slots, but the monitor must never beat the
+                    # decoder's ramp-up to it.
+                    stall_limit = max(
+                        8, int(math.ceil(self.stall_slots_factor * max(1, len(estimates))))
+                    )
+                segment = run_mobile_data_segment(
+                    tags,
+                    front_end,
+                    rng,
+                    estimates=estimates,
+                    trajectory=trajectory,
+                    participants=participants,
+                    start_s=now,
+                    k_hat=k_hat,
+                    config=config,
+                    timing=timing,
+                    max_slots=budget,
+                    stall_limit=stall_limit,
+                    silencing=silencing,
+                    id_space=sub_state.id_space,
+                )
+                data_parts.append(segment.duration_s)
+                now += segment.duration_s
+                budget -= segment.slots_used
+                slots_total += segment.slots_used
+                transmissions += segment.transmissions
+                data_transmissions += segment.transmissions
+                # Refresh message estimates for every tag this view served,
+                # except rows already delivered earlier and not re-verified now
+                # (a later stale estimate must not clobber a verified message).
+                refresh = segment.in_view & (segment.verified | ~delivered)
+                final_messages[refresh] = segment.messages[refresh]
+                delivered |= segment.verified
+
+                if bool(delivered.all()) or not segment.stalled or budget <= 0:
+                    break
+                if reidentifications >= self.max_reidentifications:
+                    break
+                reidentifications += 1
+
+        finally:
+            # The loop writes trajectory snapshots into tag.channel for
+            # identification; hand the population back with its t = 0 draw.
+            for tag, channel in zip(tags, original_channels):
+                tag.channel = channel
+
+        identification_s = math.fsum(ident_parts)
+        data_s = math.fsum(data_parts)
+        return SchemeResult(
+            scheme=self.name,
+            duration_s=identification_s + data_s,
+            message_loss=int((~delivered).sum()),
+            n_tags=k,
+            bits_per_symbol=(k / slots_total) if slots_total else float("inf"),
+            slots_used=slots_total,
+            transmissions=transmissions,
+            bit_errors=int(np.count_nonzero(final_messages != messages)),
+            identification_s=identification_s,
+            data_s=data_s,
+            retries=retries,
+            data_transmissions=data_transmissions,
+            reidentifications=reidentifications,
+        )
+
+
+class AdaptiveSessionPipeline(SessionPipeline):
+    """A session that re-identifies mid-way when the data phase stalls.
+
+    On mobile populations the pipeline arms the stall monitor: whenever
+    ``stall_slots_factor × |view|`` consecutive data slots verify nothing
+    new, the data phase is interrupted, identification re-runs over the
+    tags *now* present, and the refreshed
+    :class:`~repro.core.identification.ChannelEstimates` and id set replace
+    the stale decoder view — up to ``max_reidentifications`` times per
+    session, bounded additionally by the session's global data-slot budget.
+    Messages verified before an interruption stay delivered.
+
+    ``stall_slots_factor=None`` (or ``inf``) disables the monitor, making
+    the pipeline bit-identical to its static :class:`SessionPipeline` twin
+    on every scenario — the property the test suite pins. On static
+    populations the adaptive pipeline *is* the static pipeline.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stages: Sequence[SessionStage],
+        stall_slots_factor: Optional[float] = 2.0,
+        max_reidentifications: int = 2,
+    ):
+        super().__init__(name, stages)
+        if stall_slots_factor is not None and stall_slots_factor <= 0:
+            raise ValueError("stall_slots_factor must be positive (or None)")
+        if max_reidentifications < 0:
+            raise ValueError("max_reidentifications must be >= 0")
+        self.stall_slots_factor = stall_slots_factor
+        self.max_reidentifications = max_reidentifications
 
 
 # ---- the end-to-end variants every campaign can sweep -------------------------
@@ -391,4 +656,14 @@ register_scheme(
 )
 register_scheme(
     SessionPipeline("gen2-tdma-e2e", (IdentificationStage("fsa"), DataStage("tdma")))
+)
+register_scheme(
+    AdaptiveSessionPipeline(
+        "buzz-adaptive", (IdentificationStage("buzz"), DataStage("buzz"))
+    )
+)
+register_scheme(
+    AdaptiveSessionPipeline(
+        "silenced-adaptive", (IdentificationStage("buzz"), DataStage("silenced"))
+    )
 )

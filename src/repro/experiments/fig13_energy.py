@@ -97,38 +97,70 @@ def run(
     # per-tag slot counts) price as plain OOK per transmitted slot — for
     # the silenced variant the ACK is downlink airtime, not tag energy, so
     # its saving shows up purely through the smaller transmission counts.
+    #
+    # Session (e2e/adaptive) records carry the per-stage split: their
+    # `data_transmissions` are P-symbol message sends priced like the data
+    # scheme's, while the remaining `transmissions` are *identification
+    # reflections* — a Buzz tag reflects for a single uplink symbol in a
+    # K-estimation/bucket/CS slot (2 impedance switches), a Gen-2 tag
+    # replies with its RN16. Pricing those reflections as full messages
+    # would overstate session energy by the identification/data slot ratio.
     ook_sw = p_bits / 2 + 1
     miller_sw = 8 * p_bits
+    # Pricing families by exact registry name (a substring match would
+    # silently capture future schemes): which schemes send Miller-4 data,
+    # and which sessions identify via a Gen-2 inventory (RN16 replies)
+    # rather than Buzz's one-symbol reflections.
+    miller_data_schemes = {"tdma", "gen2-tdma-e2e"}
+    gen2_identification_schemes = {"gen2-tdma-e2e"}
     costs = {}
     for scheme in schemes:
         runs = campaign.by_scheme(scheme)
         totals = []
         for record in runs:
+            # Each record prices as a list of (per-tag counts, on-air
+            # seconds per event, switches per event) components.
             if scheme == "cdma":
                 n = record.slots_used  # spreading factor for cdma records
-                on_air = p_bits * n * bit_s
-                switches = p_bits * n / 2
-                tx_counts = record.transmissions  # all ones
-            elif scheme == "tdma":
-                on_air = p_bits * bit_s
-                switches = miller_sw
-                tx_counts = record.transmissions
+                components = [
+                    (record.transmissions, p_bits * n * bit_s, p_bits * n / 2)
+                ]
             else:
-                on_air = p_bits * bit_s
-                switches = ook_sw
-                tx_counts = record.transmissions  # per-tag slot counts
-            totals.append((np.asarray(tx_counts, dtype=float), on_air, switches))
+                if record.data_transmissions is not None:
+                    data_tx = np.asarray(record.data_transmissions, dtype=float)
+                    ident_tx = np.asarray(record.transmissions, dtype=float) - data_tx
+                    if scheme in gen2_identification_schemes:
+                        ident_bits = GEN2_DEFAULT_TIMING.rn16_bits
+                        ident_sw = ident_bits / 2 + 1  # FM0 RN16 reply
+                    else:
+                        ident_bits, ident_sw = 1, 2  # one-symbol reflection
+                    ident = [(ident_tx, ident_bits * bit_s, ident_sw)]
+                else:
+                    data_tx = np.asarray(record.transmissions, dtype=float)
+                    ident = []
+                if scheme in miller_data_schemes:
+                    components = [(data_tx, p_bits * bit_s, miller_sw)] + ident
+                else:
+                    components = [(data_tx, p_bits * bit_s, ook_sw)] + ident
+            totals.append(components)
         costs[scheme] = totals
 
     energy: Dict[str, Dict[float, float]] = {s: {} for s in costs}
     for scheme, totals in costs.items():
         for v in voltages:
             per_tag_energies = []
-            for tx_counts, on_air, switches in totals:
-                for n_tx in tx_counts:
+            for components in totals:
+                k = len(components[0][0])
+                for tag in range(k):
+                    on_air_s = sum(
+                        on_air * counts[tag] for counts, on_air, _ in components
+                    )
+                    switches = sum(
+                        sw * counts[tag] for counts, _, sw in components
+                    )
                     cost = TransmissionCost(
-                        on_air_s=on_air * n_tx,
-                        impedance_switches=int(switches * n_tx),
+                        on_air_s=on_air_s,
+                        impedance_switches=int(switches),
                         includes_wake=True,
                     )
                     per_tag_energies.append(profile.energy_j(cost, v))

@@ -10,6 +10,11 @@ simulator); scenarios pin the *relative* conditions that drive each figure:
   further and further away; parameterised by a per-tag SNR band.
 * :func:`shopping_cart_scenario` — the motivating application (§4a): K
   tagged items in a cart among a large inventory.
+* :func:`mobile_sparse_scenario` / :func:`mobile_dense_scenario` /
+  :func:`churn_scenario` — time-varying deployments (conveyors, portals):
+  the scenario carries a :class:`~repro.phy.channel.MobilityModel` whose
+  drift/churn rates the session pipelines realise per run; the
+  parameterised :func:`mobile_scenario` builds the fig16 sweep's grid.
 
 ``CHALLENGING_SNR_BANDS`` lists the five bands of Fig. 12's x-axis. Paper
 SNRs were measured on their USRP against their noise floor; our equivalent
@@ -26,7 +31,7 @@ from typing import Callable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.nodes.population import TagPopulation, make_population
-from repro.phy.channel import ChannelModel, channels_for_snr_band
+from repro.phy.channel import ChannelModel, MobilityModel, channels_for_snr_band
 from repro.utils.validation import ensure_positive_int
 
 __all__ = [
@@ -36,6 +41,10 @@ __all__ = [
     "challenging_scenario",
     "shopping_cart_scenario",
     "dense_deployment_scenario",
+    "mobile_scenario",
+    "mobile_sparse_scenario",
+    "mobile_dense_scenario",
+    "churn_scenario",
     "scenario_by_name",
     "resolve_scenario_factory",
     "ScenarioLike",
@@ -83,19 +92,24 @@ class Scenario:
     channel_model: ChannelModel
     message_bits: int = 32
     snr_band_db: Optional[Tuple[float, float]] = None
+    mobility: Optional[MobilityModel] = None
 
     def cache_token(self) -> dict:
         """Stable, JSON-able identity for campaign result caching.
 
         Everything that shapes a population draw is included — name alone
         would alias scenarios that share a label but differ in channel
-        statistics or payload size.
+        statistics or payload size. ``mobility`` is part of the token only
+        when set, so every static scenario keeps the cache key it had
+        before the mobility axis existed.
         """
         from dataclasses import asdict
 
         token = asdict(self)
         if token.get("snr_band_db") is not None:
             token["snr_band_db"] = list(token["snr_band_db"])
+        if token.get("mobility") is None:
+            token.pop("mobility", None)
         return token
 
     def draw_population(self, rng: np.random.Generator, with_energy: bool = False,
@@ -118,6 +132,7 @@ class Scenario:
             with_energy=with_energy,
             initial_voltage_v=initial_voltage_v,
             channels=channels,
+            mobility=self.mobility,
         )
 
 
@@ -206,8 +221,101 @@ def dense_deployment_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
     )
 
 
+def mobile_scenario(
+    n_tags: int,
+    message_bits: int = 32,
+    *,
+    drift_rate_hz: float = 8.0,
+    coherence_s: float = 0.005,
+    departure_rate_hz: float = 0.0,
+    late_arrival_fraction: float = 0.0,
+    arrival_window_s: float = 0.05,
+    channel_model: Optional[ChannelModel] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """A parameterised mobile deployment — the fig16 sweep's building block.
+
+    Takes the dense-shelf channel class by default and attaches a
+    :class:`~repro.phy.channel.MobilityModel` with the given drift/churn
+    rates. Rates are per second of *airtime*; a complete session at these
+    link rates spans ~0.1 s, so e.g. ``drift_rate_hz = 8`` decorrelates
+    the channels to ~0.45 of their identification-time value by the end of
+    a full-length data phase.
+    """
+    ensure_positive_int(n_tags, "n_tags")
+    model = channel_model if channel_model is not None else ChannelModel(
+        mean_snr_db=20.0, near_far_db=16.0, rician_k_db=6.0, noise_std=0.1
+    )
+    label = name if name is not None else (
+        f"mobile-k{n_tags}-d{drift_rate_hz:g}-c{departure_rate_hz:g}"
+        f"-a{late_arrival_fraction:g}"
+    )
+    return Scenario(
+        name=label,
+        n_tags=n_tags,
+        channel_model=model,
+        message_bits=message_bits,
+        mobility=MobilityModel(
+            drift_rate_hz=drift_rate_hz,
+            coherence_s=coherence_s,
+            departure_rate_hz=departure_rate_hz,
+            late_arrival_fraction=late_arrival_fraction,
+            arrival_window_s=arrival_window_s,
+        ),
+    )
+
+
+def mobile_sparse_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
+    """Few tagged items drifting slowly through a table-top class field."""
+    return mobile_scenario(
+        n_tags,
+        message_bits,
+        drift_rate_hz=4.0,
+        channel_model=ChannelModel(
+            mean_snr_db=24.0, near_far_db=12.0, rician_k_db=10.0, noise_std=0.1
+        ),
+        name=f"mobile-sparse-k{n_tags}",
+    )
+
+
+def mobile_dense_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
+    """The adaptive schemes' intended workout: a crowded shelf in motion.
+
+    Dense-class channels (wide near-far spread, weak line of sight) with
+    drift fast enough that identification's channel estimates go stale
+    mid-data-phase — the regime where a static end-to-end session burns
+    its slot budget on unverifiable columns and a mid-session
+    re-identification pays for itself.
+    """
+    return mobile_scenario(
+        n_tags, message_bits, drift_rate_hz=12.0, name=f"mobile-dense-k{n_tags}"
+    )
+
+
+def churn_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
+    """Tags entering and leaving the field mid-session (portal traffic)."""
+    return mobile_scenario(
+        n_tags,
+        message_bits,
+        drift_rate_hz=4.0,
+        departure_rate_hz=6.0,
+        late_arrival_fraction=0.25,
+        arrival_window_s=0.05,
+        name=f"churn-k{n_tags}",
+    )
+
+
 #: Named location classes any campaign-backed figure can be re-run on.
-SCENARIO_NAMES: Tuple[str, ...] = ("default", "errors", "challenging", "cart", "dense")
+SCENARIO_NAMES: Tuple[str, ...] = (
+    "default",
+    "errors",
+    "challenging",
+    "cart",
+    "dense",
+    "mobile-sparse",
+    "mobile-dense",
+    "churn",
+)
 
 ScenarioLike = Union[None, str, Callable[[int], Scenario]]
 
@@ -233,6 +341,12 @@ def scenario_by_name(
         return shopping_cart_scenario(n_tags, **kwargs)
     if name == "dense":
         return dense_deployment_scenario(n_tags, **kwargs)
+    if name == "mobile-sparse":
+        return mobile_sparse_scenario(n_tags, **kwargs)
+    if name == "mobile-dense":
+        return mobile_dense_scenario(n_tags, **kwargs)
+    if name == "churn":
+        return churn_scenario(n_tags, **kwargs)
     raise ValueError(f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}")
 
 

@@ -17,7 +17,7 @@ import numpy as np
 from repro.coding.crc import CRC5_GEN2, CrcSpec, crc_append
 from repro.nodes.energy import CapacitorEnergyModel
 from repro.nodes.tag import BackscatterTag, TagKind
-from repro.phy.channel import ChannelModel
+from repro.phy.channel import ChannelModel, MobilityModel
 from repro.phy.sync import ClockModel
 from repro.utils.bits import random_bits
 from repro.utils.validation import ensure_positive_int
@@ -27,10 +27,19 @@ __all__ = ["TagPopulation", "make_population"]
 
 @dataclass
 class TagPopulation:
-    """K tags plus the shared link parameters of one deployment draw."""
+    """K tags plus the shared link parameters of one deployment draw.
+
+    ``mobility`` carries the deployment's time-variation statistics when
+    the scenario is mobile (drift/churn rates — see
+    :class:`~repro.phy.channel.MobilityModel`); session pipelines realise
+    one :class:`~repro.phy.channel.ChannelTrajectory` from it per run.
+    ``None`` means the draw is static for the whole session (the default,
+    and the paper's §9 setup).
+    """
 
     tags: List[BackscatterTag]
     noise_std: float
+    mobility: Optional[MobilityModel] = None
 
     def __len__(self) -> int:
         return len(self.tags)
@@ -76,6 +85,7 @@ def make_population(
     with_energy: bool = False,
     initial_voltage_v: float = 3.0,
     channels: Optional[Sequence[complex]] = None,
+    mobility: Optional[MobilityModel] = None,
 ) -> TagPopulation:
     """Draw a population of ``n_tags`` ready to run the uplink experiments.
 
@@ -92,6 +102,9 @@ def make_population(
     channels:
         Explicit channel coefficients override the channel-model draw —
         used by SNR-band sweeps (Fig. 12).
+    mobility:
+        Optional time-variation statistics attached to the draw (mobile
+        scenarios); the population itself is still drawn at ``t = 0``.
     """
     ensure_positive_int(n_tags, "n_tags")
     model = channel_model if channel_model is not None else ChannelModel()
@@ -125,4 +138,4 @@ def make_population(
                 else None,
             )
         )
-    return TagPopulation(tags=tags, noise_std=model.noise_std)
+    return TagPopulation(tags=tags, noise_std=model.noise_std, mobility=mobility)

@@ -25,6 +25,8 @@ from repro.utils.validation import ensure_positive, ensure_positive_int
 __all__ = [
     "SingleTapChannel",
     "ChannelModel",
+    "MobilityModel",
+    "ChannelTrajectory",
     "backscatter_path_gain",
     "near_far_spread_db",
 ]
@@ -173,6 +175,164 @@ class ChannelModel:
         """(min, max) per-tag SNR of a draw — the paper's Fig. 12 x-axis."""
         snrs = self.snrs_db(channels)
         return float(snrs.min()), float(snrs.max())
+
+
+@dataclass(frozen=True)
+class MobilityModel:
+    """Time-varying deployment statistics: block-fading drift plus churn.
+
+    The static :class:`ChannelModel` draws one coefficient per tag and
+    holds it for the whole session — the paper's §9 bench. Warehouse and
+    supply-chain deployments are mobile: tags ride conveyors and carts, so
+    channels drift *during* a session and tags enter or leave the read
+    field mid-way. This model pins both effects with a handful of rates;
+    :class:`ChannelTrajectory` realises one draw of them.
+
+    Attributes
+    ----------
+    drift_rate_hz:
+        Channel decorrelation rate (1/s) of the Gauss–Markov block-fading
+        process: two samples ``t`` seconds apart correlate as
+        ``exp(-drift_rate_hz · t)``. 0 disables drift.
+    coherence_s:
+        Block length of the block-fading process — the channel is constant
+        within a block and steps across block boundaries.
+    departure_rate_hz:
+        Per-tag Poisson rate of leaving the field (1/s); a departed tag
+        stops reflecting for good (total fade). 0 disables departures.
+    late_arrival_fraction:
+        Fraction of tags not yet in the field when the session starts;
+        they arrive uniformly within ``arrival_window_s`` and stay silent
+        until identified.
+    arrival_window_s:
+        Width of the late-arrival window (seconds).
+    """
+
+    drift_rate_hz: float = 0.0
+    coherence_s: float = 0.01
+    departure_rate_hz: float = 0.0
+    late_arrival_fraction: float = 0.0
+    arrival_window_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.coherence_s, "coherence_s")
+        ensure_positive(self.arrival_window_s, "arrival_window_s")
+        if self.drift_rate_hz < 0:
+            raise ValueError("drift_rate_hz must be >= 0")
+        if self.departure_rate_hz < 0:
+            raise ValueError("departure_rate_hz must be >= 0")
+        if not 0.0 <= self.late_arrival_fraction <= 1.0:
+            raise ValueError("late_arrival_fraction must be in [0, 1]")
+
+    @property
+    def is_static(self) -> bool:
+        """True when every rate is zero — the model degenerates to static."""
+        return (
+            self.drift_rate_hz == 0.0
+            and self.departure_rate_hz == 0.0
+            and self.late_arrival_fraction == 0.0
+        )
+
+
+class ChannelTrajectory:
+    """One realisation of a :class:`MobilityModel` over a tag population.
+
+    Arrival/departure times are drawn up front; fading blocks are extended
+    lazily (and cached) as later times are queried, each block one
+    Gauss–Markov step from the previous:
+
+    ``h[b] = ρ·h[b−1] + √(1−ρ²)·σ_i·CN(0, 1)``, ``ρ = exp(−drift·T_block)``
+
+    with ``σ_i = |h_i(0)|`` so each tag keeps its mean reflection power
+    (the tag moves *within* its range class; gross range changes are
+    churn's job). All draws come from the dedicated ``rng`` handed in, so a
+    trajectory is a pure function of ``(base_channels, model, seed)`` —
+    the campaign engine's determinism contract extends to mobile cells.
+
+    Parameters
+    ----------
+    base_channels:
+        The population's channel draw at ``t = 0``.
+    model:
+        The rates to realise.
+    rng:
+        Dedicated generator (do not share it with the PHY noise stream).
+    arrivals / departures:
+        Explicit per-tag schedules override the random draw — the
+        failure-injection hook (e.g. "tag 0 fades at t = 4 ms").
+    """
+
+    def __init__(
+        self,
+        base_channels: Sequence[complex],
+        model: MobilityModel,
+        rng: np.random.Generator,
+        arrivals: Optional[Sequence[float]] = None,
+        departures: Optional[Sequence[float]] = None,
+    ):
+        self.base = np.asarray(base_channels, dtype=complex).ravel().copy()
+        self.model = model
+        self._rng = rng
+        n = self.base.size
+        if arrivals is None:
+            late = rng.random(n) < model.late_arrival_fraction
+            arrivals = np.where(
+                late, rng.uniform(0.0, model.arrival_window_s, size=n), 0.0
+            )
+        self.arrivals = np.asarray(arrivals, dtype=float).ravel().copy()
+        if self.arrivals.size != n:
+            raise ValueError("arrivals must have one entry per tag")
+        if departures is None:
+            if model.departure_rate_hz > 0.0:
+                departures = self.arrivals + rng.exponential(
+                    1.0 / model.departure_rate_hz, size=n
+                )
+            else:
+                departures = np.full(n, np.inf)
+        self.departures = np.asarray(departures, dtype=float).ravel().copy()
+        if self.departures.size != n:
+            raise ValueError("departures must have one entry per tag")
+        self._rho = float(np.exp(-model.drift_rate_hz * model.coherence_s))
+        self._sigma = np.abs(self.base)
+        self._blocks: list = [self.base.copy()]
+
+    def __len__(self) -> int:
+        return int(self.base.size)
+
+    def _extend_to(self, block: int) -> None:
+        while len(self._blocks) <= block:
+            prev = self._blocks[-1]
+            if self.model.drift_rate_hz == 0.0:
+                self._blocks.append(prev)
+                continue
+            n = self.base.size
+            innovation = (
+                self._rng.standard_normal(n) + 1j * self._rng.standard_normal(n)
+            ) / np.sqrt(2.0)
+            step = self._rho * prev + np.sqrt(1.0 - self._rho**2) * self._sigma * innovation
+            self._blocks.append(step)
+
+    def block_index(self, t_s: float) -> int:
+        """Fading-block index containing time ``t_s``."""
+        if t_s < 0:
+            raise ValueError("time must be >= 0")
+        return int(t_s / self.model.coherence_s)
+
+    def channels_at(self, t_s: float) -> np.ndarray:
+        """Per-tag channel coefficients during the block containing ``t_s``."""
+        block = self.block_index(t_s)
+        self._extend_to(block)
+        return self._blocks[block]
+
+    def active_at(self, t_s: float) -> np.ndarray:
+        """Boolean mask of tags physically in the field at ``t_s``."""
+        return (self.arrivals <= t_s) & (t_s < self.departures)
+
+    def correlation(self, t_s: float) -> float:
+        """Expected correlation between ``h(0)`` and ``h(t_s)`` under drift."""
+        if t_s < 0:
+            raise ValueError("time must be >= 0")
+        return float(self._rho ** self.block_index(t_s))
 
 
 def channels_for_snr_band(

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.coding.crc import CRC5_GEN2, CRC16_GEN2, CrcSpec, crc_append, crc_check, crc_compute
+from repro.coding.crc import (
+    CRC5_GEN2,
+    CRC16_GEN2,
+    CrcSpec,
+    crc_append,
+    crc_check,
+    crc_check_matrix,
+    crc_compute,
+)
 from repro.utils.bits import random_bits
 
 bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=96)
@@ -78,3 +86,47 @@ class TestCrc16:
         once = crc_append(payload, CRC16_GEN2)
         assert once.size == 32
         assert crc_check(once, CRC16_GEN2)
+
+
+class TestCrcCheckMatrix:
+    """The batched CRC must be bit-identical to the scalar reference."""
+
+    @pytest.mark.parametrize("spec", [CRC5_GEN2, CRC16_GEN2], ids=lambda s: s.name)
+    def test_matches_scalar_on_random_matrix(self, spec):
+        rng = np.random.default_rng(7)
+        # Mix of valid messages and raw garbage rows.
+        rows = [crc_append(random_bits(32, rng), spec) for _ in range(20)]
+        rows += [random_bits(32 + spec.width, rng) for _ in range(20)]
+        matrix = np.stack(rows)
+        rng.shuffle(matrix)
+        expected = np.array([crc_check(row, spec) for row in matrix])
+        assert np.array_equal(crc_check_matrix(matrix, spec), expected)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matches_scalar_property(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = random_bits(8 * 37, rng).reshape(8, 37)
+        expected = np.array([crc_check(row, CRC5_GEN2) for row in matrix])
+        assert np.array_equal(crc_check_matrix(matrix, CRC5_GEN2), expected)
+
+    def test_valid_rows_pass_corrupted_rows_fail(self):
+        rng = np.random.default_rng(11)
+        matrix = np.stack([crc_append(random_bits(24, rng), CRC5_GEN2) for _ in range(6)])
+        assert crc_check_matrix(matrix, CRC5_GEN2).all()
+        matrix[3, 5] ^= 1
+        result = crc_check_matrix(matrix, CRC5_GEN2)
+        assert not result[3]
+        assert result.sum() == 5
+
+    def test_single_row_input(self):
+        msg = crc_append([1, 0, 1, 1], CRC5_GEN2)
+        assert crc_check_matrix(msg.reshape(1, -1), CRC5_GEN2).all()
+
+    def test_too_short_rows_all_fail(self):
+        assert not crc_check_matrix(np.zeros((3, 2), dtype=np.uint8), CRC5_GEN2).any()
+
+    def test_non_bit_values_rejected_like_scalar_path(self):
+        with pytest.raises(ValueError, match="0 and 1"):
+            crc_check_matrix(np.full((2, 37), 2), CRC5_GEN2)
+        with pytest.raises(ValueError, match="0 and 1"):
+            crc_check_matrix(np.full((1, 37), -1), CRC5_GEN2)

@@ -294,10 +294,10 @@ class TestStageFieldPersistence:
         payload = json.loads(result.to_json())
         assert payload["runs"][0]["identification_s"] is None
 
-    def test_pr2_era_cache_record_is_still_served(self, tmp_path):
-        """A cached cell written without stage fields (old layout) must hit,
-        not error, under the new record shape."""
-        from repro.engine.cache import CampaignCache, cell_cache_key
+    def test_legacy_shaped_cache_record_is_still_served(self, tmp_path):
+        """A cached cell whose record predates the stage fields (old layout)
+        must hit, not error, under the new record shape."""
+        from repro.engine.cache import _CACHE_FORMAT, CampaignCache, cell_cache_key
 
         spec = CampaignSpec(
             scenario=default_uplink_scenario(4),
@@ -314,8 +314,30 @@ class TestStageFieldPersistence:
         cache = CampaignCache(tmp_path)
         path = cache._path(cell_cache_key(spec, cell))
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps({"format": 1, "run": legacy}))
+        path.write_text(json.dumps({"format": _CACHE_FORMAT, "run": legacy}))
         loaded = cache.load(spec, cell)
         assert loaded is not None
         assert loaded.identification_s is None
         assert _record(loaded)[:4] == _record(fresh)[:4]
+
+    def test_pre_mobility_format_cells_are_misses(self, tmp_path):
+        """Format-1 cells (pre data_transmissions/reidentifications) must
+        miss rather than be served: the fig13 session pricing reads the new
+        fields, and serving old cells would silently mix two pricing models
+        in one figure."""
+        from repro.engine.cache import CampaignCache, cell_cache_key
+
+        spec = CampaignSpec(
+            scenario=default_uplink_scenario(4),
+            root_seed=3,
+            n_locations=1,
+            n_traces=1,
+            schemes=("tdma",),
+        )
+        cell = next(iter(spec.cells()))
+        fresh = run_campaign(spec).runs[0]
+        cache = CampaignCache(tmp_path)
+        path = cache._path(cell_cache_key(spec, cell))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"format": 1, "run": fresh.to_dict()}))
+        assert cache.load(spec, cell) is None

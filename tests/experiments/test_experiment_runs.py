@@ -19,6 +19,7 @@ from repro.experiments import (
     fig12_challenging,
     fig13_energy,
     fig14_identification,
+    fig16_mobility,
     headline,
     toy_example,
 )
@@ -108,6 +109,44 @@ class TestFig13:
         for v in result.voltages:
             assert result.mean_energy_uj("cdma", v) > result.mean_energy_uj("tdma", v)
         assert result.mean_energy_uj("buzz", 5.0) > result.mean_energy_uj("buzz", 3.0)
+
+
+class TestFig13SessionPricing:
+    def test_identification_reflections_priced_as_single_symbols(self):
+        """Satellite: an e2e session's identification reflections (1 uplink
+        symbol each) must not be priced like P-symbol data transmissions —
+        despite carrying far more per-tag events than the data phase, they
+        must not blow the session's energy up by the event ratio."""
+        result = fig13_energy.run(
+            n_tags=4, n_locations=2, n_traces=1, schemes=("buzz", "buzz-e2e")
+        )
+        for v in result.voltages:
+            assert result.mean_energy_uj("buzz-e2e", v) > 0
+            assert result.mean_energy_uj("buzz-e2e", v) < 2.0 * result.mean_energy_uj(
+                "buzz", v
+            )
+
+
+class TestFig16:
+    def test_mobility_grid_shapes_and_adaptive_accounting(self):
+        result = fig16_mobility.run(
+            n_tags=6,
+            drift_rates=(0.0, 12.0),
+            churn_rates=(0.0,),
+            n_locations=2,
+            n_traces=1,
+        )
+        assert result.grid == [(0.0, 0.0), (12.0, 0.0)]
+        for point in result.grid:
+            for scheme in result.schemes:
+                assert result.goodput[point][scheme] > 0
+            # Only mobility-aware sessions report re-identification counts
+            # (the zero-drift, zero-churn corner degenerates to static).
+            assert result.mean_reidentifications[point]["buzz"] is None
+        assert result.mean_reidentifications[(12.0, 0.0)]["buzz-adaptive"] is not None
+        assert result.mean_reidentifications[(0.0, 0.0)]["buzz-adaptive"] is None
+        report = fig16_mobility.render(result)
+        assert "drift/s" in report and "buzz-adaptive" in report
 
 
 class TestFig14:

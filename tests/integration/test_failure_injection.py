@@ -138,3 +138,99 @@ class TestReaderNoiseFloorFault:
         result = run_rateless_uplink(pop.tags, lying, rng, max_slots=40)
         for i in np.flatnonzero(result.decoded_mask):
             assert np.array_equal(result.messages[i], pop.messages[i])
+
+
+class _ForcedSchedule(object):
+    """Mixin factory: adaptive pipeline with pinned departure schedules."""
+
+    @staticmethod
+    def pipeline(departures, stall=2.0, max_reident=3):
+        from repro.engine.session import (
+            AdaptiveSessionPipeline,
+            DataStage,
+            IdentificationStage,
+        )
+
+        class Forced(AdaptiveSessionPipeline):
+            def _make_trajectory(self, population, rng):
+                trajectory = super()._make_trajectory(population, rng)
+                trajectory.departures[:] = departures
+                return trajectory
+
+        return Forced(
+            "forced-adaptive",
+            (IdentificationStage("buzz"), DataStage("buzz")),
+            stall_slots_factor=stall,
+            max_reidentifications=max_reident,
+        )
+
+
+class TestMidSessionFade:
+    def _run(self, departures, seed=0, k=8, **kwargs):
+        from repro.core.config import BuzzConfig
+        from repro.network.scenarios import mobile_scenario
+        from repro.utils.rng import SeedSequenceFactory
+
+        scenario = mobile_scenario(k, drift_rate_hz=0.5, departure_rate_hz=0.5)
+        seeds = SeedSequenceFactory(seed)
+        pop = scenario.draw_population(seeds.stream("location", 0))
+        fe = ReaderFrontEnd(noise_std=pop.noise_std)
+        pipeline = _ForcedSchedule.pipeline(departures, **kwargs)
+        return pipeline.run(pop, fe, seeds.stream("run"), config=BuzzConfig()), pop
+
+    def test_total_fade_triggers_one_reidentification_and_terminates(self):
+        """Satellite: one tag fades completely just after identification.
+        The stall monitor must fire, identification must re-run exactly
+        once (the refreshed view excludes the faded tag), and the session
+        must terminate well before burning its slot budget."""
+        k = 8
+        departures = np.full(k, np.inf)
+        departures[0] = 0.002  # during identification's tail, before data
+        result, pop = self._run(departures, k=k)
+        assert result.reidentifications == 1
+        assert result.message_loss == 1  # only the faded tag is lost
+        # Termination: nowhere near the 25·K abort budget.
+        from repro.core.config import BuzzConfig
+
+        assert result.slots_used < BuzzConfig().max_data_slots(k) // 2
+        assert result.duration_s == result.identification_s + result.data_s
+
+    def test_all_tags_departing_short_circuits_not_hangs(self):
+        """Satellite: churn that removes *every* tag mid-session must end
+        with the empty-view short-circuit — one stalled segment, one empty
+        re-identification, all messages lost — not a full budget burn."""
+        k = 6
+        departures = np.full(k, 0.002)  # everyone fades before the data phase
+        result, pop = self._run(departures, seed=3, k=k)
+        assert result.message_loss == k
+        assert result.reidentifications == 1
+        # The only data slots spent are the first segment's stall window,
+        # far below the 25·K budget a static session would burn.
+        from repro.core.config import BuzzConfig
+
+        assert result.slots_used <= 3 * k + 8
+        assert result.slots_used < BuzzConfig().max_data_slots(k)
+        assert result.duration_s == result.identification_s + result.data_s
+
+    def test_empty_field_at_session_start(self):
+        """Nobody present when the reader triggers: the session charges one
+        trigger command and reports everything lost."""
+        from repro.core.config import BuzzConfig
+        from repro.engine.schemes import get_scheme
+        from repro.network.scenarios import mobile_scenario
+        from repro.utils.rng import SeedSequenceFactory
+
+        scenario = mobile_scenario(
+            4, late_arrival_fraction=1.0, arrival_window_s=10.0
+        )
+        seeds = SeedSequenceFactory(1)
+        pop = scenario.draw_population(seeds.stream("location", 0))
+        fe = ReaderFrontEnd(noise_std=pop.noise_std)
+        result = get_scheme("buzz-adaptive").run(
+            pop, fe, seeds.stream("run"), config=BuzzConfig()
+        )
+        assert result.message_loss == 4
+        assert result.slots_used == 0
+        assert result.data_s == 0.0
+        assert result.identification_s > 0.0
+        assert result.reidentifications == 0

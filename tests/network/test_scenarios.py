@@ -6,8 +6,14 @@ import pytest
 from repro.network.scenarios import (
     CHALLENGING_SNR_BANDS,
     PAPER_SNR_CALIBRATION_DB,
+    SCENARIO_NAMES,
     challenging_scenario,
+    churn_scenario,
     default_uplink_scenario,
+    mobile_dense_scenario,
+    mobile_scenario,
+    mobile_sparse_scenario,
+    scenario_by_name,
     shopping_cart_scenario,
 )
 
@@ -60,3 +66,58 @@ class TestShoppingCartScenario:
         assert scenario.n_tags == 20
         pop = scenario.draw_population(np.random.default_rng(6))
         assert pop.tags[0].message.size == 101  # 96-bit payload + CRC-5
+
+
+class TestMobileScenarios:
+    def test_names_registered(self):
+        assert {"mobile-sparse", "mobile-dense", "churn"} <= set(SCENARIO_NAMES)
+
+    @pytest.mark.parametrize("name", ["mobile-sparse", "mobile-dense", "churn"])
+    def test_by_name_carries_mobility(self, name):
+        scenario = scenario_by_name(name, 6)
+        assert scenario.mobility is not None
+        assert not scenario.mobility.is_static
+        pop = scenario.draw_population(np.random.default_rng(0))
+        assert pop.mobility is scenario.mobility
+        assert len(pop) == 6
+
+    def test_static_scenarios_have_no_mobility(self):
+        scenario = scenario_by_name("default", 6)
+        assert scenario.mobility is None
+        pop = scenario.draw_population(np.random.default_rng(1))
+        assert pop.mobility is None
+
+    def test_profiles_differ(self):
+        sparse = mobile_sparse_scenario(8).mobility
+        dense = mobile_dense_scenario(8).mobility
+        churn = churn_scenario(8).mobility
+        assert dense.drift_rate_hz > sparse.drift_rate_hz
+        assert churn.departure_rate_hz > 0 and churn.late_arrival_fraction > 0
+        assert sparse.departure_rate_hz == 0
+
+    def test_parameterised_factory(self):
+        scenario = mobile_scenario(5, drift_rate_hz=3.0, departure_rate_hz=1.5)
+        assert scenario.mobility.drift_rate_hz == 3.0
+        assert scenario.mobility.departure_rate_hz == 1.5
+        assert "mobile-k5" in scenario.name
+
+
+class TestMobilityCacheToken:
+    def test_mobile_token_includes_rates(self):
+        token = mobile_dense_scenario(6).cache_token()
+        assert token["mobility"]["drift_rate_hz"] == 12.0
+        # The token must stay JSON-able for the content-addressed cache.
+        import json
+
+        json.dumps(token)
+
+    def test_static_token_unchanged_by_mobility_field(self):
+        """Pre-mobility cache keys must survive: a static scenario's token
+        carries no mobility entry at all."""
+        token = default_uplink_scenario(6).cache_token()
+        assert "mobility" not in token
+
+    def test_tokens_distinguish_rates(self):
+        a = mobile_scenario(6, drift_rate_hz=4.0, name="same")
+        b = mobile_scenario(6, drift_rate_hz=8.0, name="same")
+        assert a.cache_token() != b.cache_token()

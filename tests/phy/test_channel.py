@@ -5,6 +5,8 @@ import pytest
 
 from repro.phy.channel import (
     ChannelModel,
+    ChannelTrajectory,
+    MobilityModel,
     SingleTapChannel,
     backscatter_path_gain,
     channels_for_snr_band,
@@ -110,3 +112,119 @@ class TestChannelsForSnrBand:
         h = channels_for_snr_band(500, 10.0, 10.0, rng)
         angles = np.angle(h)
         assert angles.std() > 1.0  # roughly uniform on the circle
+
+
+class TestMobilityModel:
+    def test_defaults_are_static(self):
+        assert MobilityModel().is_static
+        assert not MobilityModel(drift_rate_hz=1.0).is_static
+        assert not MobilityModel(departure_rate_hz=1.0).is_static
+        assert not MobilityModel(late_arrival_fraction=0.5).is_static
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobilityModel(drift_rate_hz=-1.0)
+        with pytest.raises(ValueError):
+            MobilityModel(departure_rate_hz=-0.1)
+        with pytest.raises(ValueError):
+            MobilityModel(coherence_s=0.0)
+        with pytest.raises(ValueError):
+            MobilityModel(late_arrival_fraction=1.5)
+
+
+class TestChannelTrajectory:
+    def _base(self, n=16, seed=0):
+        rng = np.random.default_rng(seed)
+        return ChannelModel(noise_std=0.1).sample(n, rng)
+
+    def test_deterministic_given_seed(self):
+        base = self._base()
+        model = MobilityModel(drift_rate_hz=10.0, departure_rate_hz=2.0)
+        a = ChannelTrajectory(base, model, np.random.default_rng(3))
+        b = ChannelTrajectory(base, model, np.random.default_rng(3))
+        assert np.array_equal(a.channels_at(0.123), b.channels_at(0.123))
+        assert np.array_equal(a.departures, b.departures)
+
+    def test_static_model_never_moves(self):
+        base = self._base()
+        traj = ChannelTrajectory(base, MobilityModel(), np.random.default_rng(1))
+        assert np.array_equal(traj.channels_at(0.0), base)
+        assert np.array_equal(traj.channels_at(5.0), base)
+        assert traj.active_at(100.0).all()
+
+    def test_drift_decorrelates_but_preserves_power(self):
+        base = self._base(n=400)
+        model = MobilityModel(drift_rate_hz=20.0, coherence_s=0.005)
+        traj = ChannelTrajectory(base, model, np.random.default_rng(2))
+        h0 = traj.channels_at(0.0)
+        h_late = traj.channels_at(0.2)  # corr ≈ e^-4
+        corr = abs(np.vdot(h0, h_late)) / (
+            np.linalg.norm(h0) * np.linalg.norm(h_late)
+        )
+        assert corr < 0.35
+        # Per-tag mean power is preserved (the tag stays in its range class).
+        assert np.linalg.norm(h_late) == pytest.approx(np.linalg.norm(h0), rel=0.25)
+
+    def test_channels_constant_within_a_block(self):
+        base = self._base()
+        model = MobilityModel(drift_rate_hz=50.0, coherence_s=0.01)
+        traj = ChannelTrajectory(base, model, np.random.default_rng(4))
+        assert np.array_equal(traj.channels_at(0.0101), traj.channels_at(0.0199))
+        assert not np.array_equal(traj.channels_at(0.0099), traj.channels_at(0.0101))
+
+    def test_out_of_order_queries_consistent(self):
+        """Lazily extended blocks must not depend on query order."""
+        base = self._base()
+        model = MobilityModel(drift_rate_hz=10.0)
+        forward = ChannelTrajectory(base, model, np.random.default_rng(5))
+        h_at_30 = forward.channels_at(0.03).copy()
+        jumpy = ChannelTrajectory(base, model, np.random.default_rng(5))
+        jumpy.channels_at(0.07)
+        assert np.array_equal(jumpy.channels_at(0.03), h_at_30)
+
+    def test_departures_and_late_arrivals(self):
+        base = self._base(n=300)
+        model = MobilityModel(
+            departure_rate_hz=5.0, late_arrival_fraction=0.4, arrival_window_s=0.1
+        )
+        traj = ChannelTrajectory(base, model, np.random.default_rng(6))
+        at_start = traj.active_at(0.0)
+        # Roughly the late fraction is absent at t=0...
+        assert 0.25 < 1.0 - at_start.mean() < 0.55
+        # ...and departures thin the field over time.
+        assert traj.active_at(1.0).mean() < 0.05
+        assert (traj.departures > traj.arrivals).all()
+
+    def test_explicit_schedules_override(self):
+        base = self._base(n=3)
+        traj = ChannelTrajectory(
+            base,
+            MobilityModel(departure_rate_hz=100.0),
+            np.random.default_rng(7),
+            arrivals=[0.0, 0.5, 0.0],
+            departures=[0.25, np.inf, np.inf],
+        )
+        assert list(traj.active_at(0.0)) == [True, False, True]
+        assert list(traj.active_at(0.3)) == [False, False, True]
+        assert list(traj.active_at(0.6)) == [False, True, True]
+
+    def test_negative_time_rejected(self):
+        traj = ChannelTrajectory(self._base(), MobilityModel(), np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            traj.channels_at(-0.1)
+        with pytest.raises(ValueError):
+            traj.correlation(-0.1)
+
+    def test_model_correlation_tracks_empirical_decay(self):
+        """correlation(t) = ρ^blocks is the analytic envelope the empirical
+        draw follows (within sampling noise on a large population)."""
+        base = self._base(n=500)
+        model = MobilityModel(drift_rate_hz=15.0, coherence_s=0.005)
+        traj = ChannelTrajectory(base, model, np.random.default_rng(9))
+        assert traj.correlation(0.0) == 1.0
+        assert traj.correlation(0.1) < traj.correlation(0.02) < 1.0
+        rho = np.exp(-15.0 * 0.005)
+        assert traj.correlation(0.05) == pytest.approx(rho ** 10)
+        h0, h = traj.channels_at(0.0), traj.channels_at(0.05)
+        empirical = abs(np.vdot(h0, h)) / (np.linalg.norm(h0) * np.linalg.norm(h))
+        assert empirical == pytest.approx(traj.correlation(0.05), abs=0.15)

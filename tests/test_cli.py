@@ -20,7 +20,8 @@ class TestCli:
     def test_registry_covers_all_figures(self):
         expected = {
             "toy", "fig2", "fig3", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "headline",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "headline",
         }
         assert set(_EXPERIMENTS) == expected
 
@@ -70,3 +71,20 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "buzz-e2e" in out
+
+    def test_fig16_smoke_mode(self, capsys):
+        """The CI smoke leg: the drift × churn grid with the adaptive
+        session, static session and oracle through the real CLI."""
+        assert main(["--quick", "fig16", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "buzz-adaptive" in out and "drift/s" in out
+        assert "goodput" in out  # the adaptive-vs-static summary line
+
+    def test_adaptive_scheme_on_mobile_scenario(self, capsys):
+        """The README mobility quickstart: buzz-adaptive on mobile-dense."""
+        assert main(
+            ["--quick", "fig15", "--schemes", "buzz-adaptive,buzz-e2e",
+             "--scenario", "mobile-dense"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "buzz-adaptive" in out
