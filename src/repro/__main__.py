@@ -10,24 +10,40 @@ Usage::
     python -m repro fig11 --schemes silenced # the §8.2 ACK-silencing variant
     python -m repro fig10 --scenario cart    # any figure on any location class
     python -m repro fig10 --cache-dir .buzz-cache   # re-runs load cached cells
+    python -m repro fig10 --backend cache-queue --cache-dir /shared/cache
+    python -m repro fig10 --progress         # stream per-cell progress (stderr)
     python -m repro --quick --out results/   # also write each report to a file
 
-``--jobs`` and ``--cache-dir`` apply to every campaign-backed experiment
-(fig10–fig13, fig15, fig16 and headline); ``--schemes`` and ``--scenario``
-to the per-scheme figures (fig10, fig11, fig13, fig15 — fig12's band sweep,
-fig16's mobility grid and headline's composition fix their own scenarios).
-fig15 sweeps the end-to-end session schemes (``buzz-e2e``,
-``silenced-e2e``, ``gen2-tdma-e2e``) against the oracle ``buzz``; fig16
-sweeps drift × churn mobility, static ``buzz-e2e`` vs ``buzz-adaptive``
-(mid-session re-identification) vs the oracle. Experiments a flag does not
-apply to ignore it with a note. Parallel runs are bit-identical to serial
-ones for the same seed, and a second run against the same ``--cache-dir``
-executes zero new campaign cells.
+    python -m repro worker --cache-dir /shared/cache   # join running campaigns
+    python -m repro cache --cache-dir .buzz-cache --stats   # cache maintenance
+
+``--jobs``, ``--cache-dir``, ``--backend`` and ``--progress`` apply to
+every campaign-backed experiment (fig10–fig13, fig15, fig16 and headline);
+``--schemes`` and ``--scenario`` to the per-scheme figures (fig10, fig11,
+fig13, fig15 — fig12's band sweep, fig16's mobility grid and headline's
+composition fix their own scenarios). fig15 sweeps the end-to-end session
+schemes (``buzz-e2e``, ``silenced-e2e``, ``gen2-tdma-e2e``) against the
+oracle ``buzz``; fig16 sweeps drift × churn mobility, static ``buzz-e2e``
+vs ``buzz-adaptive`` (mid-session re-identification) vs the oracle.
+Experiments a flag does not apply to ignore it with a note. Every backend
+is bit-identical to serial for the same seed, and a second run against the
+same ``--cache-dir`` executes zero new campaign cells.
+
+**Distributed runs.** ``--backend cache-queue`` coordinates a campaign
+through the shared ``--cache-dir``: the coordinating process publishes the
+work and claims cells like any worker, while ``python -m repro worker
+--cache-dir DIR`` processes — second terminals, second hosts mounting the
+same path — join in, claiming cells via atomic lease files. The merged
+result is bit-identical to a serial run. The ``cache`` subcommand reports
+cell counts/bytes per format (``--stats``), reaps stale leases left by
+killed workers (``--prune-leases``), and drops cells from superseded
+cache formats (``--gc-format``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -48,7 +64,8 @@ from repro.experiments import (
     headline,
     toy_example,
 )
-from repro.engine import available_schemes
+from repro.engine import available_backends, available_schemes
+from repro.engine.backends import backend_accepts
 from repro.network.scenarios import SCENARIO_NAMES
 
 #: name → (module, full-size kwargs, --quick kwargs, supported CLI overrides)
@@ -63,25 +80,25 @@ _EXPERIMENTS = {
         fig10_transfer_time,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "schemes", "scenario", "cache_dir"},
+        {"jobs", "schemes", "scenario", "cache_dir", "backend", "on_cell"},
     ),
     "fig11": (
         fig11_message_errors,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "schemes", "scenario", "cache_dir"},
+        {"jobs", "schemes", "scenario", "cache_dir", "backend", "on_cell"},
     ),
     "fig12": (
         fig12_challenging,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "cache_dir"},
+        {"jobs", "cache_dir", "backend", "on_cell"},
     ),
     "fig13": (
         fig13_energy,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "schemes", "scenario", "cache_dir"},
+        {"jobs", "schemes", "scenario", "cache_dir", "backend", "on_cell"},
     ),
     "fig14": (fig14_identification, {}, {"n_locations": 4}, set()),
     "fig15": (
@@ -90,7 +107,7 @@ _EXPERIMENTS = {
         # Smoke mode: tiny K, two location seeds, one trace — the CI leg
         # that keeps the end-to-end path exercised on every push.
         {"tag_counts": (2, 4), "n_locations": 2, "n_traces": 1},
-        {"jobs", "schemes", "scenario", "cache_dir"},
+        {"jobs", "schemes", "scenario", "cache_dir", "backend", "on_cell"},
     ),
     "fig16": (
         fig16_mobility,
@@ -104,13 +121,13 @@ _EXPERIMENTS = {
             "n_locations": 2,
             "n_traces": 1,
         },
-        {"jobs", "schemes", "cache_dir"},
+        {"jobs", "schemes", "cache_dir", "backend", "on_cell"},
     ),
     "headline": (
         headline,
         {},
         {"n_locations": 3, "n_traces": 1},
-        {"jobs", "cache_dir"},
+        {"jobs", "cache_dir", "backend", "on_cell"},
     ),
 }
 
@@ -128,7 +145,160 @@ def _parse_schemes(value: str):
     return schemes
 
 
+class _CellProgress:
+    """``on_cell`` streaming reporter: one updating line per campaign cell.
+
+    Keeps only per-scheme counters (first-appearance order, like
+    :meth:`~repro.engine.CampaignResult.schemes_present`) — holding the
+    runs themselves would retain every record in memory for the length
+    of the campaign just to print a status line.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.hits = 0
+        self._counts = {}
+        self._line_len = 0
+
+    @property
+    def n_cells(self) -> int:
+        return sum(self._counts.values())
+
+    def __call__(self, cell, run, cached) -> None:
+        if cached:
+            self.hits += 1
+        self._counts[run.scheme] = self._counts.get(run.scheme, 0) + 1
+        counts = ", ".join(
+            f"{name}×{count}" for name, count in self._counts.items()
+        )
+        self._overwrite(
+            f"  cells {self.n_cells} done ({counts}; {self.hits} from cache)"
+        )
+
+    def _overwrite(self, line: str, end: str = "") -> None:
+        """Rewrite the progress line, blanking any leftover of a longer one."""
+        pad = " " * max(0, self._line_len - len(line))
+        print(f"\r{line}{pad}", end=end, file=self.stream, flush=True)
+        self._line_len = len(line)
+
+    def finish(self) -> None:
+        if self._counts:
+            self._overwrite(
+                f"  {self.n_cells} cells done across "
+                f"{', '.join(self._counts)} ({self.hits} from cache)",
+                end="\n",
+            )
+        self.hits = 0
+        self._counts = {}
+        self._line_len = 0
+
+
+def _worker_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Join campaigns published in a shared cache directory: "
+        "claim pending cells via atomic leases, execute, store. Run any "
+        "number of these — second terminals or other hosts mounting the "
+        "same path — against a campaign started with --backend cache-queue.",
+    )
+    parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="shared campaign cache (the coordinator's --cache-dir)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="seconds between scans for claimable work (default 0.5)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=0.0, metavar="S",
+        help="exit after this long with nothing claimable (default 0: "
+        "drain what is queued now, then exit)",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after executing N cells (default: unbounded)",
+    )
+    args = parser.parse_args(argv)
+    if args.poll <= 0:
+        parser.error("--poll must be > 0")
+    if args.idle_timeout < 0:
+        parser.error("--idle-timeout must be >= 0")
+    if args.max_cells is not None and args.max_cells < 1:
+        parser.error("--max-cells must be >= 1")
+    from repro.engine.queue import run_worker
+
+    executed = run_worker(
+        args.cache_dir,
+        poll_interval=args.poll,
+        idle_timeout=args.idle_timeout,
+        max_cells=args.max_cells,
+        echo=print,
+    )
+    print(f"[worker] done: {executed} cell(s) executed")
+    return 0
+
+
+def _cache_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Maintain a campaign cell cache: report its contents, "
+        "reap stale leases left by killed workers, drop cells written by "
+        "superseded cache formats.",
+    )
+    parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR", help="cache directory"
+    )
+    actions = parser.add_mutually_exclusive_group()
+    actions.add_argument(
+        "--stats", action="store_true",
+        help="report cell counts/bytes per format, leases and queued jobs "
+        "(the default action)",
+    )
+    actions.add_argument(
+        "--prune-leases", action="store_true",
+        help="remove leases older than --max-age or whose cell is complete",
+    )
+    actions.add_argument(
+        "--prune-jobs", action="store_true",
+        help="remove queued campaign envelopes older than --max-age "
+        "(a live coordinator heartbeats its envelope; a stale one means "
+        "the coordinator was killed)",
+    )
+    actions.add_argument(
+        "--gc-format", action="store_true",
+        help="delete cells not written by the current cache format "
+        "(always misses at load time) and unreadable cell files",
+    )
+    parser.add_argument(
+        "--max-age", type=float, default=3600.0, metavar="S",
+        help="staleness threshold for --prune-leases/--prune-jobs "
+        "(default 3600)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_age < 0:
+        parser.error("--max-age must be >= 0")
+    from repro.engine.cache import CampaignCache
+
+    cache = CampaignCache(args.cache_dir)
+    if args.prune_leases:
+        print(f"pruned {cache.reap_leases(args.max_age)} lease(s)")
+    elif args.prune_jobs:
+        print(f"pruned {cache.reap_jobs(args.max_age)} job envelope(s)")
+    elif args.gc_format:
+        print(f"removed {cache.gc_format()} stale-format cell file(s)")
+    else:
+        print(json.dumps(cache.stats(), indent=2))
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The worker/cache subcommands have their own flag sets and never run
+    # experiments; dispatch before the figure parser sees (and rejects) them.
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the Buzz paper's figures and tables.",
@@ -171,6 +341,19 @@ def main(argv=None) -> int:
         "spec load from JSON instead of executing (created if missing)",
     )
     parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="campaign executor backend (default: serial, or process-pool "
+        "when --jobs > 1); cache-queue coordinates through --cache-dir so "
+        "`python -m repro worker` processes can join",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-cell campaign progress to stderr as cells finish",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="DIR",
@@ -179,7 +362,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.backend is not None and args.cache_dir is None:
+        from repro.engine.backends import resolve_backend
 
+        # requires_cache is the backend's own declaration — the registry,
+        # not this parser, knows which backends coordinate through a cache.
+        if resolve_backend(args.backend).requires_cache:
+            parser.error(f"--backend {args.backend} requires --cache-dir")
+    if (
+        args.backend is not None
+        and args.jobs != 1
+        and not backend_accepts(args.backend, "jobs")
+    ):
+        print(f"(note: --jobs ignored by --backend {args.backend})")
+
+    progress = _CellProgress() if args.progress else None
     overrides = {}
     if args.jobs != 1:
         overrides["jobs"] = args.jobs
@@ -189,6 +386,10 @@ def main(argv=None) -> int:
         overrides["scenario"] = args.scenario
     if args.cache_dir is not None:
         overrides["cache_dir"] = args.cache_dir
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if progress is not None:
+        overrides["on_cell"] = progress
 
     out_dir = None
     if args.out is not None:
@@ -205,9 +406,14 @@ def main(argv=None) -> int:
         start = time.time()
         print(f"===== {name} =====")
         if ignored:
-            flags = ", ".join("--" + n.replace("_", "-") for n in ignored)
+            flags = ", ".join(
+                "--progress" if n == "on_cell" else "--" + n.replace("_", "-")
+                for n in ignored
+            )
             print(f"(note: {flags} not applicable to {name})")
         report = module.render(module.run(**kwargs))
+        if progress is not None:
+            progress.finish()
         print(report)
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(report + "\n")

@@ -9,10 +9,20 @@
 * :mod:`repro.engine.campaign` — the declarative
   :class:`~repro.engine.campaign.CampaignSpec` grid and its deterministic
   cell evaluator;
-* :mod:`repro.engine.executors` — serial and process-pool backends, both
+* :mod:`repro.engine.plan` — the pipeline's first stage: enumerate the
+  grid, give every cell a content address, resolve cache hits into a
+  :class:`~repro.engine.plan.CampaignPlan`;
+* :mod:`repro.engine.backends` — pluggable
+  :class:`~repro.engine.backends.ExecutorBackend` registry (``serial``,
+  chunked ``process-pool``, multi-host ``cache-queue``), every backend
   bit-identical for the same root seed;
+* :mod:`repro.engine.executors` — shared worker-process plumbing (the
+  per-child bootstrap initializer and the chunked-dispatch sizing);
+* :mod:`repro.engine.queue` — the work queue's worker loop
+  (``python -m repro worker``): claim cells by lease, execute, store;
 * :mod:`repro.engine.cache` — content-addressed per-cell result cache, so
-  re-running a campaign with ``cache_dir`` set only executes new cells;
+  re-running a campaign with ``cache_dir`` set only executes new cells —
+  and the lease/queue medium the distributed backend coordinates through;
 * :mod:`repro.engine.session` — the session pipeline layer: composable
   identification + data stages, registering the end-to-end variants
   (``buzz-e2e``, ``silenced-e2e``, ``gen2-tdma-e2e``) that thread
@@ -26,6 +36,16 @@ thin wrapper over this package.
 """
 
 from repro.engine.cache import CampaignCache
+from repro.engine.backends import (
+    CacheQueueBackend,
+    ExecutionContext,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.engine.campaign import (
     SCHEMES,
     CampaignCell,
@@ -35,6 +55,8 @@ from repro.engine.campaign import (
     run_campaign,
     run_cell,
 )
+from repro.engine.plan import CampaignPlan, PlannedCell, plan_campaign
+from repro.engine.queue import run_worker
 from repro.engine.schemes import (
     CdmaScheme,
     RatelessScheme,
@@ -59,16 +81,23 @@ from repro.engine.session import (
 __all__ = [
     "SCHEMES",
     "AdaptiveSessionPipeline",
+    "CacheQueueBackend",
     "CampaignCache",
     "CampaignCell",
+    "CampaignPlan",
     "CampaignResult",
     "CampaignSpec",
     "CdmaScheme",
     "DataStage",
+    "ExecutionContext",
+    "ExecutorBackend",
     "IdentificationStage",
+    "PlannedCell",
+    "ProcessPoolBackend",
     "RatelessScheme",
     "SchemeResult",
     "SchemeRun",
+    "SerialBackend",
     "SessionPipeline",
     "SessionStage",
     "SessionState",
@@ -76,9 +105,14 @@ __all__ = [
     "TdmaScheme",
     "UplinkScheme",
     "StageAccount",
+    "available_backends",
     "available_schemes",
     "get_scheme",
+    "plan_campaign",
+    "register_backend",
     "register_scheme",
+    "resolve_backend",
     "run_campaign",
     "run_cell",
+    "run_worker",
 ]

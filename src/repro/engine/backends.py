@@ -1,0 +1,323 @@
+"""Pluggable executor backends: the second stage of plan → execute → stream.
+
+An :class:`ExecutorBackend` takes a resolved :class:`~repro.engine.plan.
+CampaignPlan` and runs its pending cells, emitting each finished cell to
+the orchestrator (:func:`repro.engine.campaign.run_campaign`) which owns
+caching, streaming callbacks and grid-order assembly. Backends differ
+only in *where* cells run; because every cell re-derives its randomness
+from ``(root_seed, keys)``, all backends are bit-identical for the same
+spec — the conformance suite (``tests/engine/test_backends.py``) pins
+byte-identical ``CampaignResult.to_json()`` across the registry.
+
+Built-ins:
+
+* ``serial`` — in-process loop in grid order (the reference);
+* ``process-pool`` — a ``ProcessPoolExecutor`` fan-out with *chunked*
+  dispatch: pending cells are grouped so the per-task pickling of the
+  spec and scheme objects is paid per chunk, not per cell, and chunks
+  stream back as they complete;
+* ``cache-queue`` — the distributed backend: the coordinator publishes
+  the campaign into the shared :class:`~repro.engine.cache.CampaignCache`
+  and then behaves as one worker among many, claiming cells via atomic
+  lease files. Any number of ``python -m repro worker --cache-dir ...``
+  processes — on this host or any host mounting the cache directory —
+  join the same campaign; the coordinator polls the cache for cells
+  others complete and reaps orphaned leases left by dead workers.
+
+New backends register with :func:`register_backend` and become available
+to ``run_campaign(backend=...)`` and ``python -m repro --backend ...``.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import time
+import uuid
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Dict, List, Optional
+
+from repro.engine.cache import CampaignCache
+from repro.engine.campaign import CampaignSpec, SchemeRun, run_cell
+from repro.engine.executors import _src_root, default_chunk_size, pool_initializer
+from repro.engine.plan import CampaignPlan, PlannedCell
+from repro.engine.schemes import UplinkScheme
+
+#: How often a live coordinator freshens its published envelope's mtime —
+#: far below any sane ``cache --prune-jobs --max-age`` (default 3600 s).
+_JOB_HEARTBEAT_S = 30.0
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "CacheQueueBackend",
+    "available_backends",
+    "backend_accepts",
+    "register_backend",
+    "resolve_backend",
+]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a backend needs to run a plan's pending cells.
+
+    ``emit(index, run, store=True)`` hands one finished cell back to the
+    orchestrator, which records it, writes it to the cache (unless
+    ``store=False`` — the cell was *loaded* from the cache, e.g. by the
+    work-queue coordinator finding another worker's result) and fires the
+    ``on_cell`` streaming callback. Backends may emit in any completion
+    order; the final result is always assembled in grid order.
+    """
+
+    spec: CampaignSpec
+    plan: CampaignPlan
+    schemes: Dict[str, UplinkScheme]
+    emit: Callable[..., None]
+    cache: Optional[CampaignCache] = None
+
+    def run_pending(self, planned: PlannedCell) -> SchemeRun:
+        """Evaluate one pending cell in this process."""
+        return run_cell(
+            self.spec, planned.cell, scheme=self.schemes[planned.cell.scheme]
+        )
+
+
+class ExecutorBackend(abc.ABC):
+    """Strategy interface: run a plan's pending cells, emit as they finish."""
+
+    #: Registry name (``run_campaign(backend=<name>)``).
+    name: ClassVar[str] = ""
+    #: Whether the backend needs a shared cache directory to coordinate.
+    requires_cache: ClassVar[bool] = False
+
+    @abc.abstractmethod
+    def execute(self, ctx: ExecutionContext) -> None:
+        """Run every pending cell of ``ctx.plan``, emitting each result."""
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process execution in grid order — the reference backend."""
+
+    name = "serial"
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        for planned in ctx.plan.pending():
+            ctx.emit(planned.index, ctx.run_pending(planned))
+
+
+def _run_chunk(
+    spec: CampaignSpec, schemes: Dict[str, UplinkScheme], chunk: List[PlannedCell]
+) -> List[SchemeRun]:
+    """Pool task: evaluate one chunk of cells inside a worker process."""
+    return [
+        run_cell(spec, planned.cell, scheme=schemes[planned.cell.scheme])
+        for planned in chunk
+    ]
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Chunked ``ProcessPoolExecutor`` fan-out.
+
+    One dispatched task carries a *chunk* of cells, so the spec and scheme
+    objects are pickled once per chunk instead of once per cell —
+    ``benchmarks/test_bench_executors.py`` gates the amortization at ≥ 2×
+    over per-cell dispatch on a grid of tiny cells. Chunks are emitted as
+    they complete (any order); schemes ship to workers by value, so
+    user-registered schemes run even in spawned children whose registries
+    only hold the built-ins.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        mp_context: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.jobs = jobs
+        self.mp_context = mp_context
+        self.chunk_size = chunk_size
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        pending = ctx.plan.pending()
+        if not pending:
+            return
+        jobs = min(self.jobs, len(pending))
+        size = (
+            self.chunk_size
+            if self.chunk_size is not None
+            else default_chunk_size(len(pending), jobs)
+        )
+        chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
+        context = multiprocessing.get_context(self.mp_context)
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=pool_initializer,
+            initargs=(_src_root(),),
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, ctx.spec, ctx.schemes, chunk): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                for planned, run in zip(futures[future], future.result()):
+                    ctx.emit(planned.index, run)
+
+
+class CacheQueueBackend(ExecutorBackend):
+    """Multi-process / multi-host execution coordinated through the cache.
+
+    The coordinator publishes the campaign envelope into the cache's
+    ``queue/`` directory, then loops over the plan's pending cells:
+
+    * a cell whose record appears in the cache was completed by some
+      worker — load and emit it;
+    * otherwise try to :meth:`~repro.engine.cache.CampaignCache.claim`
+      its lease; on success execute it here (the coordinator is itself a
+      worker), store, release, emit;
+    * a cell whose lease is held by someone else is skipped this sweep.
+
+    When a sweep makes no progress the coordinator reaps orphaned leases
+    older than ``lease_timeout`` (a worker died mid-cell; the cell
+    becomes claimable again) and sleeps ``poll_interval``. Joining
+    workers run the same claim/execute/store loop — see
+    :func:`repro.engine.queue.run_worker`. Every cell is *stored* exactly
+    once by whoever wins its lease; the merged result is bit-identical to
+    the serial backend because cells are pure functions of the spec.
+    """
+
+    name = "cache-queue"
+    requires_cache = True
+
+    def __init__(
+        self, lease_timeout: float = 60.0, poll_interval: float = 0.05
+    ) -> None:
+        if lease_timeout < 0:
+            raise ValueError("lease_timeout must be >= 0")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        from repro.engine.queue import claim_and_execute, pack_campaign
+
+        cache = ctx.cache
+        if cache is None:
+            raise ValueError("cache-queue backend requires a cache_dir")
+        remaining = {planned.index: planned for planned in ctx.plan.pending()}
+        if not remaining:
+            return
+        job_id = uuid.uuid4().hex
+        cache.publish_job(job_id, pack_campaign(ctx.spec, ctx.schemes))
+        last_heartbeat = time.monotonic()
+
+        def heartbeat() -> None:
+            # A coordinator busy executing cells for hours is just as
+            # alive as one waiting on workers, so this runs per cell, not
+            # per sweep — age-based job pruning must never take a live
+            # campaign's envelope away.
+            nonlocal last_heartbeat
+            now = time.monotonic()
+            if now - last_heartbeat >= _JOB_HEARTBEAT_S:
+                cache.touch_job(job_id)
+                last_heartbeat = now
+
+        try:
+            while remaining:
+                progressed = False
+                for index in sorted(remaining):
+                    heartbeat()
+                    planned = remaining[index]
+                    run = cache.load_key(planned.key)
+                    outcome = (
+                        (run, False)
+                        if run is not None  # a worker beat us to it
+                        else claim_and_execute(
+                            cache, ctx.spec, ctx.schemes, planned
+                        )
+                    )
+                    if outcome is None:
+                        continue  # leased by someone else — revisit next sweep
+                    ctx.emit(index, outcome[0], store=False)  # already stored
+                    del remaining[index]
+                    progressed = True
+                if remaining and not progressed:
+                    if cache.reap_leases(self.lease_timeout) == 0:
+                        time.sleep(self.poll_interval)
+        finally:
+            cache.remove_job(job_id)
+
+
+#: name → zero-config factory; options are applied by :func:`resolve_backend`.
+_BACKENDS: Dict[str, Callable[..., ExecutorBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutorBackend]) -> None:
+    """Add a backend to the registry (``factory(**options) -> backend``)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> tuple:
+    """Registered backend names, registration order."""
+    return tuple(_BACKENDS)
+
+
+register_backend(SerialBackend.name, SerialBackend)
+register_backend(ProcessPoolBackend.name, ProcessPoolBackend)
+register_backend(CacheQueueBackend.name, CacheQueueBackend)
+
+#: Which resolve-time options each built-in factory understands.
+_BACKEND_OPTIONS = {
+    SerialBackend.name: (),
+    ProcessPoolBackend.name: ("jobs", "mp_context", "chunk_size"),
+    CacheQueueBackend.name: ("lease_timeout", "poll_interval"),
+}
+
+
+def backend_accepts(name: str, option: str) -> bool:
+    """Whether a built-in backend's factory consumes a resolve-time option.
+
+    Lets callers (the CLI) tell the user when a flag like ``--jobs`` will
+    be ignored by their chosen backend instead of dropping it silently.
+    User-registered backends accept none of the generic options.
+    """
+    return option in _BACKEND_OPTIONS.get(name, ())
+
+
+def resolve_backend(backend, **options) -> ExecutorBackend:
+    """Turn ``run_campaign``'s ``backend=`` argument into a backend object.
+
+    ``None`` keeps the historical default: serial for ``jobs == 1``, the
+    process pool otherwise. A string is looked up in the registry and
+    constructed with the subset of ``options`` its factory understands
+    (unknown backends list the registry in the error). An
+    :class:`ExecutorBackend` instance passes through unchanged — the
+    caller configured it directly.
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if backend is None:
+        backend = "serial" if options.get("jobs", 1) == 1 else "process-pool"
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; registered: "
+            f"{', '.join(available_backends())}"
+        )
+    # User-registered factories configure themselves (closure or instance);
+    # only the built-ins consume run_campaign's generic options.
+    accepted = _BACKEND_OPTIONS.get(backend, ())
+    kwargs = {k: options[k] for k in accepted if options.get(k) is not None}
+    return _BACKENDS[backend](**kwargs)

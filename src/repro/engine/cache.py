@@ -1,4 +1,5 @@
-"""Content-addressed per-cell campaign result cache.
+"""Content-addressed per-cell campaign result cache — and the shared
+medium the multi-host work queue coordinates through.
 
 A campaign cell is a pure function of ``(root_seed, cell RNG keys,
 scenario, config, max_slots)`` — the determinism contract
@@ -7,17 +8,43 @@ makes its :class:`~repro.engine.campaign.SchemeRun` cacheable by content
 address: hash the inputs, store the record as JSON, and a re-run of the
 same spec (or any spec sharing cells with it) loads instead of executing.
 
-The cache is a plain directory of small JSON files, sharded by hash
-prefix. Writes are atomic (temp file + rename), so concurrent campaigns
-can share a cache directory; corrupt or foreign files are treated as
-misses, never errors.
+Layout
+------
+The cache is a plain directory tree; every write is atomic (temp file +
+rename on the cell shards, ``O_CREAT | O_EXCL`` on leases), so any number
+of campaigns, workers and hosts can share one directory — over NFS or any
+filesystem with atomic rename/exclusive-create semantics::
+
+    <root>/<k[:2]>/<key>.json   cell records (sharded by hash prefix)
+    <root>/leases/<key>.lease   in-flight claims (the work queue's locks)
+    <root>/queue/<id>.job       published campaign envelopes (pickle)
+
+Corrupt or foreign files are treated as misses, never errors.
+
+Lease format
+------------
+A lease is a claim on one cell: a file named ``<key>.lease`` created with
+``O_CREAT | O_EXCL`` (exclusive-create is the atomicity primitive — exactly
+one claimant wins, even across hosts). Its payload is one JSON object,
+``{"pid": ..., "host": ..., "claimed_at": <unix seconds>}``, recorded for
+operators; *staleness is judged by file mtime*, not by the payload, so a
+clock-skewed host cannot manufacture an immortal lease. The claim protocol
+is claim → execute → store (atomic) → release; a worker that dies mid-cell
+leaves its lease behind, and :meth:`CampaignCache.reap_leases` removes
+leases older than a timeout (or whose cell record already exists) so the
+cell can be re-claimed. The stored record, not the lease, is the source of
+truth: losing a lease race after storing is harmless.
 
 **The key covers a cell's data inputs, not the code that evaluates it.**
 Scheme names stand in for scheme implementations, so editing a scheme,
 the decoder, or the PHY between runs serves results computed by the old
-code. Delete the cache directory (or point at a fresh one) after any
-change to the simulation code; ``_CACHE_FORMAT`` is bumped when the key
-material or record layout itself changes.
+code. This matters doubly for multi-host sharing: every worker attached to
+a cache directory must run the *same code revision*, or the merged result
+silently mixes implementations — the cache cannot detect the difference.
+Delete the cache directory (or point at a fresh one, or run
+``python -m repro cache --gc-format``) after any change to the simulation
+code; ``_CACHE_FORMAT`` is bumped when the key material or record layout
+itself changes.
 """
 
 from __future__ import annotations
@@ -26,20 +53,25 @@ import dataclasses
 import hashlib
 import json
 import os
+import socket
 import tempfile
+import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.engine.campaign import CampaignCell, CampaignSpec, SchemeRun
 
-__all__ = ["CampaignCache", "cell_cache_key"]
+__all__ = ["CampaignCache", "cell_cache_key", "spec_key_material"]
 
 #: Bump when the key material or record layout changes incompatibly.
 #: 2: session records carry data_transmissions/reidentifications, which
 #: the fig13 energy pricing consumes — serving format-1 session cells
 #: would silently mix two pricing models in one figure.
 _CACHE_FORMAT = 2
+
+_LEASE_DIR = "leases"
+_QUEUE_DIR = "queue"
 
 
 def _scenario_token(scenario) -> dict:
@@ -50,25 +82,47 @@ def _scenario_token(scenario) -> dict:
     return dataclasses.asdict(scenario)
 
 
-def cell_cache_key(spec: "CampaignSpec", cell: "CampaignCell") -> str:
+def spec_key_material(spec: "CampaignSpec") -> dict:
+    """The cell-key inputs shared by every cell of one spec.
+
+    Serialising the scenario and config dataclasses dominates the cost of
+    a cell key; the planner addresses whole grids at once, so it computes
+    this once per spec and hands it to :func:`cell_cache_key` for each
+    cell instead of re-deriving it thousands of times.
+    """
+    return {
+        "root_seed": spec.root_seed,
+        "scenario": _scenario_token(spec.scenario),
+        "configs": [dataclasses.asdict(config) for config in spec.configs],
+        "max_slots": spec.max_slots,
+    }
+
+
+def cell_cache_key(
+    spec: "CampaignSpec", cell: "CampaignCell", spec_material: Optional[dict] = None
+) -> str:
     """Content address of one cell: sha256 over every input it consumes.
 
     Covers the root seed, the exact RNG stream keys the cell derives its
     randomness from (location stream + run stream), the scenario, the
     config variant, and the slot bound — the full closure of
-    :func:`repro.engine.campaign.run_cell`.
+    :func:`repro.engine.campaign.run_cell`. ``spec_material`` is an
+    optional precomputed :func:`spec_key_material` (same spec!) that
+    amortizes the spec-level serialisation across a grid; the resulting
+    key is byte-identical either way.
     """
     from repro.engine.campaign import _cell_rng_keys
 
+    shared = spec_material if spec_material is not None else spec_key_material(spec)
     material = {
         "format": _CACHE_FORMAT,
-        "root_seed": spec.root_seed,
+        "root_seed": shared["root_seed"],
         "location_keys": ["location", cell.location],
         "run_keys": list(_cell_rng_keys(spec, cell)),
         "scheme": cell.scheme,
-        "scenario": _scenario_token(spec.scenario),
-        "config": dataclasses.asdict(spec.configs[cell.variant]),
-        "max_slots": spec.max_slots,
+        "scenario": shared["scenario"],
+        "config": shared["configs"][cell.variant],
+        "max_slots": shared["max_slots"],
     }
     canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -81,7 +135,8 @@ class CampaignCache:
     ----------
     root:
         Cache directory; created on first use. Safe to share between
-        campaigns, specs, and concurrent processes.
+        campaigns, specs, concurrent processes — and, for the
+        ``cache-queue`` backend, between hosts mounting the same path.
     """
 
     def __init__(self, root) -> None:
@@ -91,13 +146,34 @@ class CampaignCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    # ---- cell records ---------------------------------------------------------
     def load(self, spec: "CampaignSpec", cell: "CampaignCell") -> Optional["SchemeRun"]:
         """Return the cached run for this cell, or ``None`` on a miss."""
+        return self.load_key(cell_cache_key(spec, cell))
+
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (one ``stat``, no read/parse).
+
+        The worker's poll sweep runs this over whole grids every
+        ``--poll`` seconds; loading and JSON-decoding each completed
+        record just to learn it exists would be O(completed) reads per
+        sweep. Caveat: a corrupt record exists but loads as a miss, so a
+        worker trusting ``contains`` will skip it — repair is the
+        coordinator's job (its plan resolves hits with real loads and
+        re-executes anything unreadable).
+        """
+        return self._path(key).exists()
+
+    def load_key(self, key: str) -> Optional["SchemeRun"]:
+        """Like :meth:`load`, for a cell whose content address is known.
+
+        The work-queue coordinator polls completed cells by key; computing
+        the address once at plan time keeps the poll loop hash-free.
+        """
         from repro.engine.campaign import SchemeRun
 
-        path = self._path(cell_cache_key(spec, cell))
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(self._path(key).read_text())
         except (OSError, ValueError):
             return None
         if not isinstance(payload, dict) or payload.get("format") != _CACHE_FORMAT:
@@ -109,7 +185,10 @@ class CampaignCache:
 
     def store(self, spec: "CampaignSpec", cell: "CampaignCell", run: "SchemeRun") -> None:
         """Persist one cell's run atomically (temp file + rename)."""
-        key = cell_cache_key(spec, cell)
+        self.store_key(cell_cache_key(spec, cell), run)
+
+    def store_key(self, key: str, run: "SchemeRun") -> None:
+        """Like :meth:`store`, for a cell whose content address is known."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"format": _CACHE_FORMAT, "key": key, "run": run.to_dict()}
@@ -124,3 +203,219 @@ class CampaignCache:
             except OSError:
                 pass
             raise
+
+    def keys(self) -> Iterator[str]:
+        """Manifest view: the content addresses of every stored cell."""
+        for shard in sorted(self.root.glob("??")):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem
+
+    # ---- leases (the work queue's claim primitive) ----------------------------
+    def _lease_path(self, key: str) -> Path:
+        return self.root / _LEASE_DIR / f"{key}.lease"
+
+    def claim(self, key: str) -> bool:
+        """Atomically claim a cell for execution; ``True`` iff we won.
+
+        Exactly one concurrent claimant succeeds (``O_CREAT | O_EXCL``);
+        everyone else skips the cell and moves on. The winner must
+        eventually :meth:`store_key` the result and :meth:`release` the
+        lease — or die and be reaped by :meth:`reap_leases`.
+        """
+        path = self._lease_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            json.dump(
+                {
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "claimed_at": time.time(),
+                },
+                handle,
+            )
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop a lease (missing is fine — a reaper may have beaten us)."""
+        try:
+            os.unlink(self._lease_path(key))
+        except OSError:
+            pass
+
+    def leases(self) -> List[str]:
+        """Keys of every outstanding lease."""
+        lease_dir = self.root / _LEASE_DIR
+        return sorted(p.stem for p in lease_dir.glob("*.lease"))
+
+    def reap_leases(self, max_age_s: float) -> int:
+        """Remove orphaned leases; return how many were reaped.
+
+        A lease is an orphan when its cell record already exists (the
+        worker stored the result but died before releasing) or when the
+        lease file's mtime is older than ``max_age_s`` (the worker died
+        mid-cell). Reaping a live worker's lease is safe for correctness —
+        the cell would merely execute twice, and the atomic store makes
+        the duplicate a no-op — so a too-small timeout costs work, never
+        wrongness.
+        """
+        reaped = 0
+        now = time.time()
+        for path in (self.root / _LEASE_DIR).glob("*.lease"):
+            key = path.stem
+            try:
+                done = self._path(key).exists()
+                stale = (now - path.stat().st_mtime) >= max_age_s
+            except OSError:
+                continue  # vanished under us — its owner released it
+            if done or stale:
+                try:
+                    os.unlink(path)
+                    reaped += 1
+                except OSError:
+                    pass
+        return reaped
+
+    # ---- published jobs (the work queue's discovery medium) -------------------
+    def publish_job(self, job_id: str, payload: bytes) -> None:
+        """Expose a campaign envelope for workers to discover (atomic)."""
+        queue_dir = self.root / _QUEUE_DIR
+        queue_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=queue_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, queue_dir / f"{job_id}.job")
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_jobs(self) -> List[Tuple[str, bytes]]:
+        """All currently published ``(job_id, payload)`` envelopes."""
+        jobs = []
+        for path in sorted((self.root / _QUEUE_DIR).glob("*.job")):
+            try:
+                jobs.append((path.stem, path.read_bytes()))
+            except OSError:
+                continue  # coordinator finished and removed it mid-scan
+        return jobs
+
+    def remove_job(self, job_id: str) -> None:
+        """Retract a published envelope (missing is fine)."""
+        try:
+            os.unlink(self.root / _QUEUE_DIR / f"{job_id}.job")
+        except OSError:
+            pass
+
+    def touch_job(self, job_id: str) -> None:
+        """Heartbeat a published envelope (freshen its mtime).
+
+        Coordinators touch their job while waiting on other parties'
+        cells, so :meth:`reap_jobs`'s age test distinguishes a live
+        long-running campaign from one whose coordinator was killed.
+        """
+        try:
+            os.utime(self.root / _QUEUE_DIR / f"{job_id}.job")
+        except OSError:
+            pass
+
+    def reap_jobs(self, max_age_s: float) -> int:
+        """Remove job envelopes whose coordinator stopped heartbeating.
+
+        A coordinator removes its envelope on exit (even on error), so a
+        stale one means it was killed outright. Orphaned envelopes are
+        more than dead weight: every long-lived worker re-plans the dead
+        campaign's whole grid on each poll sweep. Returns the number
+        removed.
+        """
+        reaped = 0
+        now = time.time()
+        for path in (self.root / _QUEUE_DIR).glob("*.job"):
+            try:
+                stale = (now - path.stat().st_mtime) >= max_age_s
+            except OSError:
+                continue  # vanished under us — its coordinator finished
+            if stale:
+                try:
+                    os.unlink(path)
+                    reaped += 1
+                except OSError:
+                    pass
+        return reaped
+
+    # ---- maintenance ----------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate view for operators: cells/bytes per format, queue state.
+
+        Returns a JSON-able dict::
+
+            {"cells": {"<format>": {"count": n, "bytes": b}, ...},
+             "unreadable": n, "total_bytes": b, "leases": n, "jobs": n}
+
+        ``unreadable`` counts corrupt/foreign cell files (always misses at
+        load time); ``--gc-format`` removes them along with old formats.
+        """
+        per_format: Dict[str, Dict[str, int]] = {}
+        unreadable = 0
+        total_bytes = 0
+        for shard in self.root.glob("??"):
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.json"):
+                try:
+                    size = path.stat().st_size
+                    payload = json.loads(path.read_text())
+                    fmt = payload["format"]
+                except (OSError, ValueError, TypeError, KeyError):
+                    unreadable += 1
+                    continue
+                bucket = per_format.setdefault(str(fmt), {"count": 0, "bytes": 0})
+                bucket["count"] += 1
+                bucket["bytes"] += size
+                total_bytes += size
+        return {
+            "cells": dict(sorted(per_format.items())),
+            "unreadable": unreadable,
+            "total_bytes": total_bytes,
+            "leases": len(self.leases()),
+            # count by filename, not load_jobs() — no reason to read every
+            # envelope's pickled payload to produce one integer
+            "jobs": len(list((self.root / _QUEUE_DIR).glob("*.job"))),
+        }
+
+    def gc_format(self) -> int:
+        """Drop cells not written by the current ``_CACHE_FORMAT``.
+
+        Pre-format cells are dead weight — every load treats them as
+        misses — so this only reclaims disk, never changes results.
+        Corrupt/unreadable cell files are removed too. Returns the number
+        of files deleted.
+        """
+        removed = 0
+        for shard in self.root.glob("??"):
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.json"):
+                try:
+                    payload = json.loads(path.read_text())
+                    keep = (
+                        isinstance(payload, dict)
+                        and payload.get("format") == _CACHE_FORMAT
+                    )
+                except (OSError, ValueError):
+                    keep = False
+                if not keep:
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

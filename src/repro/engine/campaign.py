@@ -2,9 +2,12 @@
 
 The paper's methodology (§9) is a grid: locations × traces × schemes, every
 scheme re-run on the same channel realisation. :class:`CampaignSpec`
-declares that grid (plus an optional config-sweep axis); the executor
-evaluates its cells through the :mod:`repro.engine.schemes` registry, either
-serially or on a process pool.
+declares that grid (plus an optional config-sweep axis);
+:func:`run_campaign` evaluates it as a three-stage pipeline — *plan*
+(:mod:`repro.engine.plan` addresses every cell and resolves cache hits),
+*execute* (a pluggable backend from :mod:`repro.engine.backends`: serial,
+chunked process pool, or the multi-host cache-queue), *stream* (cells are
+cached and reported through ``on_cell`` as they finish).
 
 **Determinism.** Every cell re-derives all of its randomness from
 ``(root_seed, keys)`` through :class:`~repro.utils.rng.SeedSequenceFactory`:
@@ -20,14 +23,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from functools import partial
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import BuzzConfig
-from repro.engine.executors import run_process_pool, run_serial
 from repro.engine.schemes import (
     SchemeResult,
     UplinkScheme,
@@ -234,20 +235,49 @@ class CampaignSpec:
 
 @dataclass
 class CampaignResult:
-    """All runs of a campaign, indexable by scheme."""
+    """All runs of a campaign, indexable by scheme.
+
+    ``by_scheme`` and every aggregate read a lazily built per-scheme
+    index instead of rescanning ``runs`` on each call; the index is
+    rebuilt transparently whenever ``runs`` has grown (the streaming
+    progress path appends to a live result between reads).
+    """
 
     scenario_name: str
     runs: List[SchemeRun] = field(default_factory=list)
+    _index: Optional[Dict[str, List[SchemeRun]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _index_len: int = field(default=-1, init=False, repr=False, compare=False)
+
+    @property
+    def n_runs(self) -> int:
+        """Total recorded runs (cells) across all schemes."""
+        return len(self.runs)
+
+    def schemes_present(self) -> Tuple[str, ...]:
+        """Scheme names with at least one run, in first-appearance order."""
+        return tuple(self._scheme_index())
+
+    def _scheme_index(self) -> Dict[str, List[SchemeRun]]:
+        if self._index is None or self._index_len != len(self.runs):
+            index: Dict[str, List[SchemeRun]] = {}
+            for run in self.runs:
+                index.setdefault(run.scheme, []).append(run)
+            self._index = index
+            self._index_len = len(self.runs)
+        return self._index
 
     def by_scheme(self, scheme: str) -> List[SchemeRun]:
         # Accept names present in this result's own data as well as the
         # registry — the result must stay readable in a process (or after
         # unpickling) whose registry differs from the one that ran it.
-        if scheme not in available_schemes() and all(
-            r.scheme != scheme for r in self.runs
-        ):
+        index = self._scheme_index()
+        if scheme in index:
+            return list(index[scheme])
+        if scheme not in available_schemes():
             raise ValueError(f"unknown scheme {scheme!r}")
-        return [r for r in self.runs if r.scheme == scheme]
+        return []
 
     def _runs_for_aggregate(self, scheme: str) -> List[SchemeRun]:
         """Runs for ``scheme``, refusing to aggregate over nothing.
@@ -349,54 +379,79 @@ def run_cell(
     return SchemeRun.from_result(result, cell)
 
 
-def _run_cell_with_schemes(spec: CampaignSpec, schemes: dict, cell: CampaignCell) -> SchemeRun:
-    """Pool task: cells carry their scheme objects instead of registry names."""
-    return run_cell(spec, cell, scheme=schemes[cell.scheme])
-
-
 def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
     mp_context: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    backend=None,
+    on_cell: Optional[Callable[[CampaignCell, SchemeRun, bool], None]] = None,
+    chunk_size: Optional[int] = None,
 ) -> CampaignResult:
     """Execute a campaign spec and collect its records in grid order.
 
-    ``jobs=1`` runs in-process; ``jobs>1`` fans the cells out over a
-    process pool. Both orderings and all record contents are bit-identical
-    for the same spec (see module docstring).
+    The three-stage pipeline: **plan** (enumerate the grid, address every
+    cell, resolve cache hits — :func:`repro.engine.plan.plan_campaign`),
+    **execute** (hand the pending cells to a pluggable backend —
+    :mod:`repro.engine.backends`), **stream** (each finished cell is
+    written to the cache and reported through ``on_cell`` as it
+    completes, so long campaigns are observable and resumable mid-flight,
+    not only once the last cell lands).
+
+    ``backend`` selects the executor: ``None`` keeps the historical
+    default (serial for ``jobs == 1``, the chunked process pool
+    otherwise); a registry name (``"serial"``, ``"process-pool"``,
+    ``"cache-queue"``) or a configured
+    :class:`~repro.engine.backends.ExecutorBackend` instance overrides
+    it. Every backend produces bit-identical grid-order results for the
+    same spec; the ``cache-queue`` backend additionally lets external
+    ``python -m repro worker`` processes (any host sharing ``cache_dir``)
+    claim cells while this call coordinates.
+
+    ``on_cell(cell, run, cached)`` fires once per cell: first for plan
+    stage cache hits (``cached=True``, grid order), then for executed
+    cells as they finish (``cached=False``, completion order).
 
     ``cache_dir`` names a :class:`~repro.engine.cache.CampaignCache`
     directory: cells whose content address is already stored load from
     JSON instead of executing, and freshly executed cells are stored for
     the next run. A repeat invocation of the same spec therefore executes
-    zero cells and reproduces the identical result.
+    zero cells and reproduces the identical result. ``chunk_size``
+    overrides the process pool's dispatch granularity.
     """
+    from repro.engine.backends import ExecutionContext, resolve_backend
     from repro.engine.cache import CampaignCache
+    from repro.engine.plan import plan_campaign
 
-    cells = list(spec.cells())
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     cache = CampaignCache(cache_dir) if cache_dir is not None else None
-    results: List[Optional[SchemeRun]] = [None] * len(cells)
-    pending_idx = list(range(len(cells)))
-    if cache is not None:
-        pending_idx = []
-        for i, cell in enumerate(cells):
-            hit = cache.load(spec, cell)
-            if hit is not None:
-                results[i] = hit
-            else:
-                pending_idx.append(i)
-    pending = [cells[i] for i in pending_idx]
+    plan = plan_campaign(spec, cache)
+    if on_cell is not None:
+        for planned in plan.cached():
+            on_cell(planned.cell, plan.results[planned.index], True)
+    backend_obj = resolve_backend(
+        backend, jobs=jobs, mp_context=mp_context, chunk_size=chunk_size
+    )
+    if backend_obj.requires_cache and cache is None:
+        raise ValueError(
+            f"backend {backend_obj.name!r} coordinates through the cell "
+            f"cache; pass cache_dir="
+        )
     # Resolve the schemes in *this* process and ship the objects with the
     # task — a spawned worker's registry only holds the built-ins.
     schemes = {name: get_scheme(name) for name in spec.schemes}
-    task = partial(_run_cell_with_schemes, spec, schemes)
-    if jobs == 1:
-        runs = run_serial(task, pending)
-    else:
-        runs = run_process_pool(task, pending, jobs=jobs, mp_context=mp_context)
-    for i, run in zip(pending_idx, runs):
-        results[i] = run
-        if cache is not None:
-            cache.store(spec, cells[i], run)
-    return CampaignResult(scenario_name=spec.scenario.name, runs=results)
+
+    def emit(index: int, run: SchemeRun, store: bool = True) -> None:
+        plan.results[index] = run
+        if store and cache is not None:
+            cache.store_key(plan.keys[index], run)
+        if on_cell is not None:
+            on_cell(plan.cells[index], run, False)
+
+    backend_obj.execute(
+        ExecutionContext(
+            spec=spec, plan=plan, schemes=schemes, emit=emit, cache=cache
+        )
+    )
+    return plan.to_result()

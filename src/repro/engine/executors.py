@@ -1,36 +1,30 @@
-"""Pluggable campaign execution backends.
+"""Worker-process plumbing shared by the campaign backends.
 
-A campaign is an embarrassingly parallel grid of independent cells; the
-backends here only differ in *where* the cells run:
+The execution strategies themselves live in
+:mod:`repro.engine.backends`; this module holds the pieces every
+process-spawning backend needs:
 
-* :func:`run_serial` — in-process loop (the reference ordering);
-* :func:`run_process_pool` — a ``ProcessPoolExecutor`` fan-out.
-
-Both return results in submission order, so a campaign's record list is
-identical regardless of backend — and because every cell re-derives its
-randomness from ``(root_seed, keys)`` rather than sharing generator state,
-the *contents* are bit-identical too (see
-:mod:`repro.engine.campaign`). Workers are seeded by value, never by
-inherited generator state, which makes the pool safe under the ``spawn``
-start method (fresh interpreters) as well as ``fork``.
+* :func:`pool_initializer` — per-child bootstrap so ``import repro``
+  works in spawned workers even when the repo runs uninstalled (the
+  ROADMAP's ``PYTHONPATH=src`` mode). Two mechanisms cover the child:
+  the ``spawn`` machinery ships the parent's ``sys.path`` in its
+  preparation data, and the initializer additionally pins the source
+  root into the child's ``sys.path`` and ``PYTHONPATH`` (the latter so
+  the child's own subprocesses inherit it). An earlier version exported
+  ``PYTHONPATH`` in the *parent* for the pool's lifetime; that mutation
+  raced when two campaigns ran concurrently in one process — a
+  first-class pattern now that the work queue exists — so it is gone.
+* :func:`default_chunk_size` — the dispatch granularity heuristic that
+  amortizes per-task pickling/IPC across a chunk of cells.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+import sys
 
-T = TypeVar("T")
-R = TypeVar("R")
-
-__all__ = ["run_serial", "run_process_pool"]
-
-
-def run_serial(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-    """Run every cell in-process, in order."""
-    return [fn(item) for item in items]
+__all__ = ["pool_initializer", "default_chunk_size"]
 
 
 def _src_root() -> str:
@@ -40,38 +34,27 @@ def _src_root() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
 
-def run_process_pool(
-    fn: Callable[[T], R],
-    items: Sequence[T],
-    jobs: int,
-    mp_context: Optional[str] = None,
-) -> List[R]:
-    """Fan cells out over ``jobs`` worker processes; results keep item order.
+def pool_initializer(src_root: str) -> None:
+    """Per-child bootstrap: make ``repro`` importable inside the worker.
 
-    ``fn`` and every item must be picklable. ``mp_context`` selects the
-    multiprocessing start method (``"fork"``/``"spawn"``/``"forkserver"``);
-    the platform default is used when omitted. Under ``spawn`` the children
-    re-import this package from scratch, so the parent's source root is
-    exported via ``PYTHONPATH`` for the duration of the pool — the repo is
-    runnable without installation (the ROADMAP's ``PYTHONPATH=src`` mode).
+    Runs in the *child* process, so it can set ``sys.path`` and
+    ``PYTHONPATH`` without racing anything in the parent. Idempotent.
     """
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    if not items:
-        return []
-    jobs = min(jobs, len(items))
-    context = multiprocessing.get_context(mp_context)
+    if src_root not in sys.path:
+        sys.path.insert(0, src_root)
+    existing = os.environ.get("PYTHONPATH")
+    parts = existing.split(os.pathsep) if existing else []
+    if src_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src_root] + parts)
 
-    src = _src_root()
-    old_pythonpath = os.environ.get("PYTHONPATH")
-    parts = old_pythonpath.split(os.pathsep) if old_pythonpath else []
-    if src not in parts:
-        os.environ["PYTHONPATH"] = os.pathsep.join([src] + parts)
-    try:
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-            return list(pool.map(fn, items))
-    finally:
-        if old_pythonpath is None:
-            os.environ.pop("PYTHONPATH", None)
-        else:
-            os.environ["PYTHONPATH"] = old_pythonpath
+
+def default_chunk_size(n_items: int, jobs: int) -> int:
+    """Dispatch granularity that amortizes pickling/IPC without starving.
+
+    Each pool task re-pickles its closure (spec + scheme objects), so
+    per-item dispatch pays that serialization once *per cell* — brutal on
+    grids of tiny cells. Chunking pays it once per chunk; four chunks per
+    worker keeps the pool load-balanced when cell costs vary, and the cap
+    of 32 bounds the loss when one chunk lands on a slow cell.
+    """
+    return max(1, min(32, math.ceil(n_items / (jobs * 4))))

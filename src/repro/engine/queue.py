@@ -1,0 +1,158 @@
+"""The cache-coordinated work queue's worker side.
+
+A campaign run with the ``cache-queue`` backend publishes a pickled
+*envelope* (spec + scheme objects) into the shared cache's ``queue/``
+directory. :func:`run_worker` is the other half: any process — on this
+host or another host mounting the same cache directory — scans the
+published envelopes, plans each campaign against the cache, claims
+pending cells via atomic lease files, executes them, and stores the
+results where the coordinator (and every other worker) will find them.
+
+``python -m repro worker --cache-dir DIR`` wraps this loop, so joining a
+running campaign from a second terminal or second machine is one command.
+
+Envelopes are pickles, which ships user-registered scheme objects by
+value (matching the process-pool backend) but requires every worker to
+run the same code revision — see the multi-host caveat in
+:mod:`repro.engine.cache`. A worker that cannot unpickle an envelope
+(version skew, foreign file) skips it rather than crashing the fleet.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.engine.cache import CampaignCache
+from repro.engine.campaign import CampaignSpec, run_cell
+from repro.engine.plan import plan_campaign
+from repro.engine.schemes import UplinkScheme
+
+__all__ = ["pack_campaign", "unpack_campaign", "claim_and_execute", "run_worker"]
+
+#: Envelope format marker — bumped if the payload layout ever changes.
+_ENVELOPE_VERSION = 1
+
+
+def pack_campaign(spec: CampaignSpec, schemes: Dict[str, UplinkScheme]) -> bytes:
+    """Serialize a campaign envelope for :meth:`CampaignCache.publish_job`."""
+    return pickle.dumps(
+        {"version": _ENVELOPE_VERSION, "spec": spec, "schemes": schemes}
+    )
+
+
+def unpack_campaign(
+    payload: bytes,
+) -> Optional[Tuple[CampaignSpec, Dict[str, UplinkScheme]]]:
+    """Inverse of :func:`pack_campaign`; ``None`` for anything unreadable."""
+    try:
+        envelope = pickle.loads(payload)
+        if envelope.get("version") != _ENVELOPE_VERSION:
+            return None
+        return envelope["spec"], envelope["schemes"]
+    except Exception:  # version skew / foreign file — skip, don't crash
+        return None
+
+
+def claim_and_execute(cache, spec, schemes, planned):
+    """The work queue's core step, shared by coordinator and workers.
+
+    Claim the cell's lease → re-check the record *under the lease* (the
+    caller's plan is a snapshot, and another party may have completed the
+    cell and released since it was computed — executing now would
+    duplicate its work) → execute → store atomically → release.
+
+    Returns ``None`` when the lease was not ours to take, else
+    ``(run, executed)`` where ``executed`` is ``False`` if the re-check
+    found another party's record. Keeping this in one place is what keeps
+    the coordinator (:class:`~repro.engine.backends.CacheQueueBackend`)
+    and :func:`run_worker` protocol-identical — a divergence here would
+    be a cross-process bug no single-process test can see.
+    """
+    if not cache.claim(planned.key):
+        return None  # in flight elsewhere
+    try:
+        run = cache.load_key(planned.key)
+        if run is not None:
+            return run, False
+        run = run_cell(spec, planned.cell, scheme=schemes[planned.cell.scheme])
+        cache.store_key(planned.key, run)
+        return run, True
+    finally:
+        cache.release(planned.key)
+
+
+def run_worker(
+    cache_dir,
+    poll_interval: float = 0.5,
+    idle_timeout: float = 0.0,
+    max_cells: Optional[int] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Join published campaigns as one worker; return cells executed.
+
+    Scans the cache's published envelopes and runs the claim → execute →
+    store → release loop over every pending cell. Exits once no claimable
+    work has been seen for ``idle_timeout`` seconds (``0`` drains what is
+    queued right now and exits immediately after); pass a positive
+    timeout when starting the worker *before* or *alongside* a
+    coordinator so it waits for the campaign to appear. ``max_cells``
+    bounds the work done (mainly for tests and gradual scale-out);
+    ``echo`` receives one progress line per executed cell.
+    """
+    if poll_interval <= 0:
+        raise ValueError("poll_interval must be > 0")
+    if idle_timeout < 0:
+        raise ValueError("idle_timeout must be >= 0")
+    cache = CampaignCache(cache_dir)
+    executed = 0
+    idle_since: Optional[float] = None
+    # Envelopes are immutable once published, so unpickling and planning
+    # happen once per job, not once per poll sweep; per sweep each cell
+    # costs one `contains` stat (plus the claim protocol for the few that
+    # are actually pending), keeping a waiting worker's footprint on a
+    # shared filesystem flat instead of O(completed cells).
+    plans: Dict[str, Optional[tuple]] = {}
+    while True:
+        claimed_any = False
+        jobs = cache.load_jobs()
+        live_ids = {job_id for job_id, _ in jobs}
+        for stale_id in set(plans) - live_ids:
+            del plans[stale_id]
+        for job_id, payload in jobs:
+            if job_id not in plans:
+                campaign = unpack_campaign(payload)
+                plans[job_id] = (
+                    None
+                    if campaign is None
+                    else (*campaign, plan_campaign(campaign[0]))
+                )
+            if plans[job_id] is None:
+                continue  # unreadable envelope — someone else's problem
+            spec, schemes, plan = plans[job_id]
+            for planned in plan.pending():
+                if max_cells is not None and executed >= max_cells:
+                    return executed
+                if cache.contains(planned.key):
+                    continue  # completed (by anyone) on an earlier sweep
+                outcome = claim_and_execute(cache, spec, schemes, planned)
+                if outcome is None or not outcome[1]:
+                    continue  # in flight elsewhere, or done by the time we won
+                executed += 1
+                claimed_any = True
+                if echo is not None:
+                    echo(
+                        f"[worker] job {job_id[:8]} cell {planned.index + 1}/"
+                        f"{plan.n_cells} {planned.cell.scheme} "
+                        f"loc={planned.cell.location} trace={planned.cell.trace}"
+                    )
+        if claimed_any:
+            idle_since = None
+            continue
+        now = time.monotonic()
+        if idle_since is None:
+            idle_since = now
+        if now - idle_since >= idle_timeout:
+            return executed
+        time.sleep(poll_interval)

@@ -60,6 +60,8 @@ def run(
     scenario: ScenarioLike = None,
     jobs: int = 1,
     cache_dir: str = None,
+    backend: str = None,
+    on_cell=None,
 ) -> TransferTimeResult:
     """Run the Fig. 10 campaign across K."""
     factory = resolve_scenario_factory(scenario, default_uplink_scenario)
@@ -73,6 +75,8 @@ def run(
             schemes=schemes,
             jobs=jobs,
             cache_dir=cache_dir,
+            backend=backend,
+            on_cell=on_cell,
         )
         metrics[k] = {
             scheme: uplink_metrics_from_runs(scheme, campaign.by_scheme(scheme))

@@ -54,6 +54,8 @@ def run(
     scenario: ScenarioLike = None,
     jobs: int = 1,
     cache_dir: str = None,
+    backend: str = None,
+    on_cell=None,
 ) -> MessageErrorResult:
     """Run the Fig. 11 campaign across K."""
     factory = resolve_scenario_factory(scenario, error_scenario)
@@ -67,6 +69,8 @@ def run(
             schemes=schemes,
             jobs=jobs,
             cache_dir=cache_dir,
+            backend=backend,
+            on_cell=on_cell,
         )
         metrics[k] = {
             scheme: uplink_metrics_from_runs(scheme, campaign.by_scheme(scheme))

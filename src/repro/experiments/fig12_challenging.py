@@ -45,6 +45,8 @@ def run(
     seed: int = 12,
     jobs: int = 1,
     cache_dir: str = None,
+    backend: str = None,
+    on_cell=None,
 ) -> ChallengingResult:
     """Sweep the Fig. 12 SNR bands (``jobs`` parallelises each campaign)."""
     buzz_dec, tdma_dec, cdma_dec = [], [], []
@@ -58,6 +60,8 @@ def run(
             n_traces=n_traces,
             jobs=jobs,
             cache_dir=cache_dir,
+            backend=backend,
+            on_cell=on_cell,
         )
         per = {
             s: uplink_metrics_from_runs(s, campaign.by_scheme(s))

@@ -67,6 +67,8 @@ def run(
     scenario: ScenarioLike = None,
     jobs: int = 1,
     cache_dir: str = None,
+    backend: str = None,
+    on_cell=None,
 ) -> EnergyResult:
     """Account energy per scheme from the campaign's transmission records.
 
@@ -86,6 +88,8 @@ def run(
         schemes=schemes,
         jobs=jobs,
         cache_dir=cache_dir,
+        backend=backend,
+        on_cell=on_cell,
     )
     bit_s = 1.0 / GEN2_DEFAULT_TIMING.uplink_rate_bps
     p_bits = message_bits + 5  # payload + CRC-5

@@ -92,6 +92,8 @@ def run(
     scenario: ScenarioLike = None,
     jobs: int = 1,
     cache_dir: str = None,
+    backend: str = None,
+    on_cell=None,
 ) -> EndToEndResult:
     """Sweep complete sessions across K on the campaign grid."""
     factory = resolve_scenario_factory(scenario, default_uplink_scenario)
@@ -110,6 +112,8 @@ def run(
             schemes=schemes,
             jobs=jobs,
             cache_dir=cache_dir,
+            backend=backend,
+            on_cell=on_cell,
         )
         total_ms[k], ident_ms[k], data_ms[k] = {}, {}, {}
         mean_loss[k], mean_retries[k] = {}, {}

@@ -95,6 +95,8 @@ def run(
     schemes: Sequence[str] = MOBILITY_SCHEMES,
     jobs: int = 1,
     cache_dir: str = None,
+    backend: str = None,
+    on_cell=None,
 ) -> MobilityResult:
     """Sweep complete sessions over the drift × churn grid."""
     grid = [(float(d), float(c)) for d in drift_rates for c in churn_rates]
@@ -118,6 +120,8 @@ def run(
             schemes=schemes,
             jobs=jobs,
             cache_dir=cache_dir,
+            backend=backend,
+            on_cell=on_cell,
         )
         point = (drift, churn)
         goodput[point], mean_loss[point] = {}, {}

@@ -43,6 +43,8 @@ def run(
     seed: int = 15,
     jobs: int = 1,
     cache_dir: str = None,
+    backend: str = None,
+    on_cell=None,
 ) -> HeadlineResult:
     """Compose the headline from the two sub-experiments.
 
@@ -58,6 +60,8 @@ def run(
         seed=seed,
         jobs=jobs,
         cache_dir=cache_dir,
+        backend=backend,
+        on_cell=on_cell,
     )
     ident = fig14_identification.run(
         tag_counts=tag_counts, n_locations=n_locations, seed=seed + 1

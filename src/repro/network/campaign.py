@@ -39,6 +39,8 @@ def run_campaign(
     max_slots: Optional[int] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend=None,
+    on_cell=None,
 ) -> CampaignResult:
     """Run the paper's location × trace × scheme grid.
 
@@ -51,7 +53,10 @@ def run_campaign(
     ``jobs > 1`` evaluates the grid on a process pool; results are
     bit-identical to the serial run for the same ``root_seed``.
     ``cache_dir`` enables the engine's per-cell result cache — repeat runs
-    load their cells from JSON instead of executing them.
+    load their cells from JSON instead of executing them. ``backend``
+    overrides the executor (a :mod:`repro.engine.backends` registry name,
+    e.g. ``"cache-queue"`` for the multi-host work queue) and
+    ``on_cell(cell, run, cached)`` streams each cell as it completes.
     """
     spec = CampaignSpec(
         scenario=scenario,
@@ -62,4 +67,6 @@ def run_campaign(
         configs=(config if config is not None else BuzzConfig(),),
         max_slots=max_slots,
     )
-    return _run_spec(spec, jobs=jobs, cache_dir=cache_dir)
+    return _run_spec(
+        spec, jobs=jobs, cache_dir=cache_dir, backend=backend, on_cell=on_cell
+    )

@@ -1,0 +1,223 @@
+"""Tests for the cache's lease/queue primitives and maintenance surface.
+
+The lease protocol (claim → execute → store → release) is what makes the
+multi-host work queue duplicate-free; ``stats``/``reap_leases``/
+``gc_format`` are the operator surface behind
+``python -m repro cache --stats|--prune-leases|--gc-format``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import CampaignCache, CampaignSpec, plan_campaign, run_campaign
+from repro.engine.cache import _CACHE_FORMAT, cell_cache_key
+from repro.network.scenarios import default_uplink_scenario
+
+
+def _spec(**overrides):
+    defaults = dict(
+        scenario=default_uplink_scenario(4),
+        root_seed=2024,
+        n_locations=1,
+        n_traces=1,
+        schemes=("tdma",),
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestLeases:
+    def test_claim_is_exclusive(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        assert cache.claim("deadbeef") is True
+        assert cache.claim("deadbeef") is False  # second claimant loses
+        cache.release("deadbeef")
+        assert cache.claim("deadbeef") is True  # claimable again
+
+    def test_release_missing_lease_is_noop(self, tmp_path):
+        CampaignCache(tmp_path).release("not-there")
+
+    def test_lease_payload_records_owner(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        cache.claim("cafe01")
+        payload = json.loads(cache._lease_path("cafe01").read_text())
+        assert payload["pid"] == os.getpid()
+        assert "host" in payload and "claimed_at" in payload
+
+    def test_reap_removes_only_stale_leases(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        cache.claim("old001")
+        cache.claim("new001")
+        stale = time.time() - 7200.0
+        os.utime(cache._lease_path("old001"), (stale, stale))
+        assert cache.reap_leases(3600.0) == 1
+        assert cache.leases() == ["new001"]
+
+    def test_reap_removes_lease_of_completed_cell(self, tmp_path):
+        """A worker that stored its result but died before releasing must
+        not wedge the queue: the record's existence orphans the lease."""
+        spec = _spec()
+        cache = CampaignCache(tmp_path)
+        run_campaign(spec, cache_dir=str(tmp_path))
+        key = plan_campaign(spec, CampaignCache(tmp_path)).keys[0]
+        assert cache.load_key(key) is not None
+        cache.claim(key)
+        assert cache.reap_leases(3600.0) == 1  # fresh mtime, but cell is done
+        assert cache.leases() == []
+
+
+class TestStatsAndGc:
+    def test_stats_counts_cells_leases_jobs(self, tmp_path):
+        spec = _spec(n_traces=2)
+        run_campaign(spec, cache_dir=str(tmp_path))
+        cache = CampaignCache(tmp_path)
+        cache.claim("aa" * 32)
+        cache.publish_job("job1", b"payload")
+        stats = cache.stats()
+        fmt = str(_CACHE_FORMAT)
+        assert stats["cells"][fmt]["count"] == spec.n_cells
+        assert stats["cells"][fmt]["bytes"] == stats["total_bytes"] > 0
+        assert stats["unreadable"] == 0
+        assert stats["leases"] == 1 and stats["jobs"] == 1
+
+    def _plant_stale_cells(self, cache):
+        """One pre-format cell and one corrupt file, in valid shard dirs."""
+        old = cache.root / "ab" / ("ab" + "0" * 62 + ".json")
+        old.parent.mkdir(parents=True, exist_ok=True)
+        old.write_text(json.dumps({"format": _CACHE_FORMAT - 1, "run": {}}))
+        corrupt = cache.root / "cd" / ("cd" + "0" * 62 + ".json")
+        corrupt.parent.mkdir(parents=True, exist_ok=True)
+        corrupt.write_text("{not json")
+        return old, corrupt
+
+    def test_stats_flags_unreadable_and_old_formats(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        self._plant_stale_cells(cache)
+        stats = cache.stats()
+        assert stats["cells"][str(_CACHE_FORMAT - 1)]["count"] == 1
+        assert stats["unreadable"] == 1
+
+    def test_gc_format_drops_stale_cells_keeps_current(self, tmp_path):
+        spec = _spec()
+        result = run_campaign(spec, cache_dir=str(tmp_path))
+        cache = CampaignCache(tmp_path)
+        old, corrupt = self._plant_stale_cells(cache)
+        assert cache.gc_format() == 2
+        assert not old.exists() and not corrupt.exists()
+        # current-format cells survive and still serve hits
+        key = cell_cache_key(spec, next(iter(spec.cells())))
+        hit = cache.load_key(key)
+        assert hit is not None
+        assert hit.to_dict() == result.runs[0].to_dict()
+
+    def test_keys_manifest_lists_stored_cells(self, tmp_path):
+        spec = _spec(n_traces=3)
+        run_campaign(spec, cache_dir=str(tmp_path))
+        cache = CampaignCache(tmp_path)
+        keys = list(cache.keys())
+        assert len(keys) == spec.n_cells
+        plan = plan_campaign(spec, cache)
+        assert set(keys) == set(plan.keys)
+
+
+class TestJobs:
+    def test_publish_load_remove_round_trip(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        cache.publish_job("alpha", b"\x00\x01")
+        cache.publish_job("beta", b"\x02")
+        assert cache.load_jobs() == [("alpha", b"\x00\x01"), ("beta", b"\x02")]
+        cache.remove_job("alpha")
+        assert cache.load_jobs() == [("beta", b"\x02")]
+        cache.remove_job("missing")  # no-op
+
+    def test_coordinator_cleans_up_its_job(self, tmp_path):
+        run_campaign(_spec(), backend="cache-queue", cache_dir=str(tmp_path))
+        cache = CampaignCache(tmp_path)
+        assert cache.load_jobs() == [] and cache.leases() == []
+
+    def test_reap_jobs_removes_only_stale_envelopes(self, tmp_path):
+        """A killed coordinator's envelope goes stale and is reaped; a
+        freshly heartbeated one survives."""
+        cache = CampaignCache(tmp_path)
+        cache.publish_job("dead", b"orphaned")
+        cache.publish_job("live", b"active")
+        stale = time.time() - 7200.0
+        os.utime(cache.root / "queue" / "dead.job", (stale, stale))
+        assert cache.reap_jobs(3600.0) == 1
+        assert cache.load_jobs() == [("live", b"active")]
+
+    def test_touch_job_defeats_reaping(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        cache.publish_job("beating", b"payload")
+        stale = time.time() - 7200.0
+        os.utime(cache.root / "queue" / "beating.job", (stale, stale))
+        cache.touch_job("beating")  # the coordinator's heartbeat
+        assert cache.reap_jobs(3600.0) == 0
+        cache.touch_job("missing")  # no-op
+
+
+class TestMaintenanceCli:
+    def test_cache_stats_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec = _spec()
+        run_campaign(spec, cache_dir=str(tmp_path))
+        assert main(["cache", "--cache-dir", str(tmp_path), "--stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cells"][str(_CACHE_FORMAT)]["count"] == spec.n_cells
+
+    def test_cache_prune_leases_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache = CampaignCache(tmp_path)
+        cache.claim("feed01")
+        stale = time.time() - 7200.0
+        os.utime(cache._lease_path("feed01"), (stale, stale))
+        code = main(
+            ["cache", "--cache-dir", str(tmp_path), "--prune-leases",
+             "--max-age", "3600"]
+        )
+        assert code == 0
+        assert "pruned 1 lease" in capsys.readouterr().out
+        assert cache.leases() == []
+
+    def test_cache_prune_jobs_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache = CampaignCache(tmp_path)
+        cache.publish_job("orphan", b"payload")
+        stale = time.time() - 7200.0
+        os.utime(cache.root / "queue" / "orphan.job", (stale, stale))
+        code = main(
+            ["cache", "--cache-dir", str(tmp_path), "--prune-jobs",
+             "--max-age", "3600"]
+        )
+        assert code == 0
+        assert "pruned 1 job" in capsys.readouterr().out
+        assert cache.load_jobs() == []
+
+    def test_cache_gc_format_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        cache = CampaignCache(tmp_path)
+        path = cache.root / "ab" / ("ab" + "1" * 62 + ".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"format": 0, "run": {}}))
+        assert main(["cache", "--cache-dir", str(tmp_path), "--gc-format"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not path.exists()
+
+    def test_cache_requires_cache_dir(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["cache", "--stats"])
+
+    def test_actions_are_mutually_exclusive(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["cache", "--cache-dir", str(tmp_path), "--stats", "--gc-format"])

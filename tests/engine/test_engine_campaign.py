@@ -178,6 +178,24 @@ class TestCampaignResult:
         with pytest.raises(ValueError):
             result.by_scheme("aloha")
 
+    def test_n_runs_and_schemes_present(self):
+        result = run_campaign(_spec())
+        assert result.n_runs == len(result.runs) == 12
+        assert result.schemes_present() == ("buzz", "tdma", "cdma")
+
+    def test_scheme_index_refreshes_after_append(self):
+        """The lazy index must track a growing result (streaming append)."""
+        result = run_campaign(_spec())
+        assert len(result.by_scheme("buzz")) == 4  # builds the index
+        result.runs.append(result.runs[0])
+        assert result.n_runs == 13
+        assert len(result.by_scheme("buzz")) == 5  # rebuilt on growth
+
+    def test_by_scheme_returns_a_copy(self):
+        result = run_campaign(_spec())
+        result.by_scheme("buzz").clear()  # mutating the view is harmless
+        assert len(result.by_scheme("buzz")) == 4
+
     def test_aggregates_over_zero_runs_raise(self):
         """A registered scheme absent from the spec must raise, not return
         numpy nan with a RuntimeWarning."""

@@ -88,3 +88,74 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "buzz-adaptive" in out
+
+
+class TestDistributedCli:
+    """The cache-queue backend, worker subcommand and cache maintenance."""
+
+    def test_backend_cache_queue_matches_serial(self, capsys, tmp_path):
+        """`--backend cache-queue` (single coordinator) reproduces the
+        serial report byte for byte — the CI distributed smoke in-process."""
+        args = ["--quick", "fig10", "--schemes", "tdma",
+                "--out", str(tmp_path / "serial")]
+        assert main(args) == 0
+        capsys.readouterr()
+        queue_args = ["--quick", "fig10", "--schemes", "tdma",
+                      "--backend", "cache-queue",
+                      "--cache-dir", str(tmp_path / "cache"),
+                      "--out", str(tmp_path / "queue")]
+        assert main(queue_args) == 0
+        capsys.readouterr()
+        serial = (tmp_path / "serial" / "fig10.txt").read_text()
+        queued = (tmp_path / "queue" / "fig10.txt").read_text()
+        assert queued == serial
+
+    def test_backend_cache_queue_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["--quick", "fig10", "--backend", "cache-queue"])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--quick", "fig10", "--backend", "carrier-pigeon"])
+
+    def test_progress_flag_streams_cells(self, capsys):
+        assert main(["--quick", "fig10", "--schemes", "tdma", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "cells" in captured.err and "tdma" in captured.err
+        assert "cells" not in captured.out  # progress never pollutes reports
+
+    def test_worker_drains_published_campaign(self, capsys, tmp_path):
+        """`python -m repro worker` picks up a published envelope, executes
+        every cell, and a later cache-queue coordinator finds them done."""
+        from repro.engine import CampaignCache, CampaignSpec, run_campaign
+        from repro.engine.queue import pack_campaign
+        from repro.engine.schemes import get_scheme
+        from repro.network.scenarios import default_uplink_scenario
+
+        spec = CampaignSpec(
+            scenario=default_uplink_scenario(4), root_seed=7,
+            n_locations=1, n_traces=2, schemes=("tdma",),
+        )
+        cache = CampaignCache(tmp_path)
+        cache.publish_job(
+            "cli-job", pack_campaign(spec, {"tdma": get_scheme("tdma")})
+        )
+        assert main(["worker", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"{spec.n_cells} cell(s) executed" in out
+        # the worker's cells satisfy a later coordinator: nothing to run
+        result = run_campaign(spec, backend="cache-queue", cache_dir=str(tmp_path))
+        assert result.to_json() == run_campaign(spec).to_json()
+
+    def test_worker_on_empty_cache_exits_immediately(self, capsys, tmp_path):
+        assert main(["worker", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 cell(s) executed" in capsys.readouterr().out
+
+    def test_worker_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+
+    def test_worker_rejects_bad_flags(self, tmp_path):
+        for bad in (["--poll", "0"], ["--idle-timeout", "-1"], ["--max-cells", "0"]):
+            with pytest.raises(SystemExit):
+                main(["worker", "--cache-dir", str(tmp_path), *bad])
