@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Record the decoder wall-time trajectory to ``BENCH_decoder.json``.
+
+Times one warm-start :meth:`decode` call per kernel on the synthetic
+collision systems the benchmark gates use (``synthetic_instance`` — D at
+the config's clamped data density, L = 1.2·K slots, 8 % warm-start bit
+errors), across a sweep of tag-population sizes K. The scalar
+per-position kernel is only run at small K (it is minutes-slow beyond
+that); the numba kernel is recorded only when numba is importable, so the
+artifact also documents which fast paths the recording machine had.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_decoder_bench.py            # full sweep
+    PYTHONPATH=src python benchmarks/record_decoder_bench.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/record_decoder_bench.py -o out.json
+
+The artifact is a single JSON object::
+
+    {
+      "schema": "bench-decoder/v1",
+      "workload": {...},                      # instance parameters
+      "kernels": ["scalar", "batched", ...],  # entries actually recorded
+      "numba_available": false,
+      "series": [
+        {"kernel": "batched", "k": 500, "m": 37, "slots": 600,
+         "seconds": 0.21, "flips": 2400},
+        ...
+      ]
+    }
+
+``seconds`` is the median of ``--rounds`` timed calls (decoder
+construction included — the rateless loop builds a fresh kernel per slot
+arrival, so construction is part of the honest cost).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from test_bench_decoder import synthetic_instance  # noqa: E402
+
+from repro.core.bp_decoder import (  # noqa: E402
+    HAVE_NUMBA,
+    BatchedBitFlipDecoder,
+    BitFlipDecoder,
+    NumbaBitFlipDecoder,
+    PackedBitFlipDecoder,
+)
+
+_MAX_FLIPS = 60
+_M = 37  # 32-bit message + CRC-5, the paper's uplink frame
+
+_FULL_SWEEP = (50, 100, 200, 500, 1000, 2000)
+_SMOKE_SWEEP = (50, 200, 500, 1000)
+_SCALAR_MAX_K = 200  # the per-position python loop is minutes-slow past this
+
+
+def _scalar_decode(d, h, y, init):
+    decoder = BitFlipDecoder(d, h, max_flips=_MAX_FLIPS)
+    bits = np.empty_like(init)
+    flips = 0
+    for pos in range(init.shape[1]):
+        out = decoder.decode(y[:, pos], init=init[:, pos])
+        bits[:, pos] = out.bits
+        flips += out.flips
+    return flips
+
+
+def _batched_decode(cls):
+    def run(d, h, y, init):
+        return int(cls(d, h, max_flips=_MAX_FLIPS).decode(y, init=init).flips.sum())
+
+    return run
+
+
+def _kernels():
+    kernels = {
+        "scalar": _scalar_decode,
+        "batched": _batched_decode(BatchedBitFlipDecoder),
+        "packed": _batched_decode(PackedBitFlipDecoder),
+    }
+    if HAVE_NUMBA:
+        kernels["numba"] = _batched_decode(NumbaBitFlipDecoder)
+    return kernels
+
+
+def record(ks, rounds):
+    series = []
+    kernels = _kernels()
+    for k in ks:
+        d, h, y, init = synthetic_instance(k=k, m=_M, seed=101)
+        for name, run in kernels.items():
+            if name == "scalar" and k > _SCALAR_MAX_K:
+                continue
+            samples = []
+            flips = 0
+            for _ in range(rounds):
+                start = time.perf_counter()
+                flips = run(d, h, y, init)
+                samples.append(time.perf_counter() - start)
+            entry = {
+                "kernel": name,
+                "k": int(k),
+                "m": _M,
+                "slots": int(d.shape[0]),
+                "seconds": float(np.median(samples)),
+                "flips": int(flips),
+            }
+            series.append(entry)
+            print(
+                f"K={entry['k']:>5} {name:>8}: {entry['seconds'] * 1e3:9.1f} ms "
+                f"({entry['flips']} flips)"
+            )
+    return {
+        "schema": "bench-decoder/v1",
+        "workload": {
+            "m": _M,
+            "slots_per_k": 1.2,
+            "max_flips": _MAX_FLIPS,
+            "noise": 0.05,
+            "warm_start_error_rate": 0.08,
+            "seed": 101,
+            "rounds": rounds,
+        },
+        "kernels": sorted(kernels),
+        "numba_available": bool(HAVE_NUMBA),
+        "series": series,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced sweep and a single timed round per point (CI)",
+    )
+    parser.add_argument("--rounds", type=int, default=3, help="timed rounds per point")
+    parser.add_argument(
+        "-o", "--output", default=str(Path(__file__).parent.parent / "BENCH_decoder.json"),
+        help="output path (default: repo-root BENCH_decoder.json)",
+    )
+    args = parser.parse_args(argv)
+    ks = _SMOKE_SWEEP if args.smoke else _FULL_SWEEP
+    rounds = 1 if args.smoke else args.rounds
+    payload = record(ks, rounds)
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(payload['series'])} points)")
+
+
+if __name__ == "__main__":
+    main()

@@ -128,11 +128,16 @@ def _crc_linear_table(n_payload_bits: int, spec: CrcSpec):
 def crc_check_matrix(messages: np.ndarray, spec: CrcSpec = CRC5_GEN2) -> np.ndarray:
     """Batched :func:`crc_check` over the rows of an ``(N, L)`` bit matrix.
 
-    One GF(2) matmul against a cached per-position remainder table replaces
-    N bit-serial register walks — the reader's per-node CRC loop collapsed
-    to array arithmetic. Bit-identical to calling :func:`crc_check` per
-    row (property-tested), for any :class:`CrcSpec`.
+    The rows are packed into uint64 words and every CRC bit evaluates as
+    one GF(2) inner product against a cached packed superposition table —
+    ``popcount(message & table_row) & 1`` (see
+    :func:`repro.coding.gf2.crc_check_packed`) — replacing N bit-serial
+    register walks. CRC arithmetic is exact over the integers, so this is
+    bit-identical to calling :func:`crc_check` per row (property-tested),
+    for any :class:`CrcSpec`.
     """
+    from repro.coding.gf2 import crc_check_packed, pack_rows
+
     bits = np.atleast_2d(np.asarray(messages))
     if bits.ndim != 2:
         raise ValueError("messages must be a 2-D bit matrix")
@@ -143,8 +148,4 @@ def crc_check_matrix(messages: np.ndarray, spec: CrcSpec = CRC5_GEN2) -> np.ndar
     n, length = bits.shape
     if length < spec.width:
         return np.zeros(n, dtype=bool)
-    n_payload = length - spec.width
-    table, zeros = _crc_linear_table(n_payload, spec)
-    payload = bits[:, :n_payload].astype(np.int64)
-    computed = ((payload @ table) & 1) ^ zeros
-    return np.all(computed == bits[:, n_payload:], axis=1)
+    return crc_check_packed(pack_rows(bits), length, spec)

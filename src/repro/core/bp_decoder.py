@@ -24,11 +24,14 @@ where ``w_i`` is tag *i*'s column weight.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.coding.gf2 import pack_rows, unpack_rows
 from repro.utils.validation import ensure_positive_int
 
 __all__ = [
@@ -36,6 +39,13 @@ __all__ = [
     "DecodeOutcome",
     "BatchedBitFlipDecoder",
     "BatchedDecodeOutcome",
+    "PackedBitFlipDecoder",
+    "NumbaBitFlipDecoder",
+    "HAVE_NUMBA",
+    "KERNEL_ENV_VAR",
+    "available_kernels",
+    "register_kernel",
+    "resolve_kernel",
 ]
 
 _NEG_INF = -np.inf
@@ -45,37 +55,43 @@ _GAIN_TOL = 1e-9
 _RESIDUAL_EXACT = 1e-9
 
 
-def _scan_pair_flip(
-    d: np.ndarray,
-    h: np.ndarray,
-    residual: np.ndarray,
-    bits: np.ndarray,
+@lru_cache(maxsize=32)
+def _tril_indices(n: int) -> tuple:
+    """Cached ``np.tril_indices(n)`` — the pair scan calls it per stall."""
+    return np.tril_indices(n)
+
+
+def best_pair_flip(
+    gains: np.ndarray,
+    delta: np.ndarray,
+    overlap: np.ndarray,
     frozen: np.ndarray,
 ) -> Optional[tuple]:
-    """Best positive-gain joint two-bit flip, or ``None``.
+    """Best positive-gain joint two-bit flip, closed form, or ``None``.
 
-    Shared by the per-position and batched decoders so both take identical
-    escape decisions at a stall. Quadratic in K, but only invoked when
-    single flips have stalled.
+    Flipping *i* and *j* together changes the error by
+    ``G_i + G_j − 2·Re(conj(δ_i)·δ_j)·|d_i ∩ d_j|`` — the cross term lives
+    only on shared slots — so the whole pair matrix comes from the
+    single-flip gains already in hand plus the slot-overlap counts; no
+    per-pair residual correlations. Selection: pairs ``i < j`` over
+    unfrozen bits in row-major order, first strict maximum above the gain
+    tolerance. Shared by every decoder kernel (per-position, batched,
+    packed, numba) so all take identical escape decisions at a stall.
+    Quadratic in K, but only invoked when single flips have stalled.
     """
     free = np.flatnonzero(~frozen)
-    best_gain = _GAIN_TOL
-    best_pair: Optional[tuple] = None
-    for a_idx in range(free.size):
-        i = int(free[a_idx])
-        delta_i = h[i] * (1.0 - 2.0 * float(bits[i]))
-        d_i = d[:, i].astype(float)
-        for b_idx in range(a_idx + 1, free.size):
-            j = int(free[b_idx])
-            delta_j = h[j] * (1.0 - 2.0 * float(bits[j]))
-            u = delta_i * d_i + delta_j * d[:, j].astype(float)
-            gain = 2.0 * float(np.real(np.vdot(u, residual))) - float(
-                np.real(np.vdot(u, u))
-            )
-            if gain > best_gain:
-                best_gain = gain
-                best_pair = (i, j)
-    return best_pair
+    if free.size < 2:
+        return None
+    g = gains[free]
+    dlt = delta[free]
+    cross = 2.0 * np.real(np.conj(dlt)[:, None] * dlt[None, :])
+    pair_gains = g[:, None] + g[None, :] - cross * overlap[np.ix_(free, free)]
+    pair_gains[_tril_indices(free.size)] = _NEG_INF
+    flat = int(np.argmax(pair_gains))
+    i, j = divmod(flat, free.size)
+    if not pair_gains[i, j] > _GAIN_TOL:
+        return None
+    return int(free[i]), int(free[j])
 
 
 @dataclass
@@ -129,7 +145,10 @@ class BitFlipDecoder:
         # Bipartite-graph adjacency: rows (slots) per tag, and
         # neighbours-of-neighbours per tag (tags sharing at least one slot).
         self._rows_of: List[np.ndarray] = [np.flatnonzero(self.d[:, i]) for i in range(self.k)]
-        shared = (self.d.T.astype(int) @ self.d.astype(int)) > 0
+        # Pairwise slot-overlap counts |d_i ∩ d_j| — adjacency for the
+        # incremental gain updates and the closed-form pair-flip escape.
+        self._overlap = self.d.T.astype(int) @ self.d.astype(int)
+        shared = self._overlap > 0
         self._nofn: List[np.ndarray] = [np.flatnonzero(shared[i]) for i in range(self.k)]
 
     # ---- gain machinery -------------------------------------------------------
@@ -166,14 +185,16 @@ class BitFlipDecoder:
         )
 
     def _best_pair_flip(
-        self, residual: np.ndarray, bits: np.ndarray, frozen: np.ndarray
+        self, gains: np.ndarray, bits: np.ndarray, frozen: np.ndarray
     ) -> Optional[tuple]:
         """Find a joint two-bit flip with positive gain, if any.
 
-        Returns the best such pair or ``None``. Quadratic in K, but only
-        invoked when single flips have stalled.
+        Returns the best such pair or ``None`` — the shared closed-form
+        scan (:func:`best_pair_flip`) fed with the decoder's incremental
+        gains and slot-overlap counts.
         """
-        return _scan_pair_flip(self.d, self.h, residual, bits, frozen)
+        delta = self.h * (1.0 - 2.0 * bits.astype(float))
+        return best_pair_flip(gains, delta, self._overlap, frozen)
 
     # ---- decoding -------------------------------------------------------------
     def decode(
@@ -231,7 +252,7 @@ class BitFlipDecoder:
                 # Single flips exhausted. Near-degenerate channel pairs
                 # (h_i ≈ ±h_j) create two-bit local minima a single flip
                 # cannot leave — scan joint pair flips before giving up.
-                pair = self._best_pair_flip(residual, bits, frozen_mask)
+                pair = self._best_pair_flip(gains, bits, frozen_mask)
                 if pair is None:
                     break
                 i, j = pair
@@ -386,27 +407,10 @@ class BatchedBitFlipDecoder:
     ) -> Optional[tuple]:
         """Closed-form joint two-bit scan for one stalled column.
 
-        Flipping *i* and *j* together changes the error by
-        ``G_i + G_j − 2·Re(conj(δ_i)·δ_j)·|d_i ∩ d_j|`` (the cross term
-        lives only on shared slots), so the whole K×K pair matrix comes
-        from the single-flip gains already in hand — no per-pair residual
-        correlations. Selection matches :func:`_scan_pair_flip`: pairs
-        ``i < j`` over unfrozen bits in row-major order, first strict
-        maximum above the gain tolerance.
+        Delegates to the shared :func:`best_pair_flip` with this kernel's
+        cached slot-overlap matrix.
         """
-        free = np.flatnonzero(~frozen)
-        if free.size < 2:
-            return None
-        g = gains[free]
-        dlt = delta[free]
-        cross = 2.0 * np.real(np.conj(dlt)[:, None] * dlt[None, :])
-        pair_gains = g[:, None] + g[None, :] - cross * self._overlap[np.ix_(free, free)]
-        pair_gains[np.tril_indices(free.size)] = _NEG_INF
-        flat = int(np.argmax(pair_gains))
-        i, j = divmod(flat, free.size)
-        if not pair_gains[i, j] > _GAIN_TOL:
-            return None
-        return int(free[i]), int(free[j])
+        return best_pair_flip(gains, delta, self._overlap, frozen)
 
     # ---- decoding -------------------------------------------------------------
     def decode(
@@ -606,3 +610,395 @@ class BatchedBitFlipDecoder:
                     best.converged[m] = trial.converged[0]
                     best.residual_norms[m] = trial.residual_norms[0]
         return best
+
+
+class PackedBitFlipDecoder(BatchedBitFlipDecoder):
+    """Bit-packed fast path of the batched kernel — K into the thousands.
+
+    Same flip decisions as :class:`BatchedBitFlipDecoder` (same gain
+    formula, tolerance, pair-flip escape via :func:`best_pair_flip`, and
+    restart RNG draw order through the inherited
+    :meth:`~BatchedBitFlipDecoder.decode_best_of`), with the per-round
+    arithmetic restructured around three observations:
+
+    * **Bits are signs.** ``|δ_i|² = |h_i|²`` regardless of the bit, so the
+      per-round ``(K, m)`` complex ``delta`` matrix collapses to a float
+      sign matrix times precomputed per-tag constants — no materialised
+      ``sub_bits`` / ``delta`` / ``|delta|²`` temporaries.
+    * **Gains update incrementally.** Flipping bit *i* of column *m*
+      changes that column's correlation by ``conj(δ_i)·(Dᵀ d_i)`` — one
+      column of the slot-overlap matrix. The per-round ``(K, L)×(L, m)``
+      gain matmul of the batched kernel becomes an axpy over the flipped
+      columns; only the *initial* correlation (and the final residual
+      norms) cost a matmul per :meth:`decode` call.
+    * **The bit state lives in uint64 words.** The ``(K, M)`` estimate
+      matrix is held packed (:func:`repro.coding.gf2.pack_rows`, 64
+      positions per word) and flips are word XORs; D's columns are packed
+      too, with column weights taken by popcount. Packed rows feed the
+      popcount-based CRC check (:func:`repro.coding.gf2.crc_check_packed`)
+      without unpacking.
+
+    The equivalence boundary widens by one notch compared to
+    batched-vs-scalar: correlations here accumulate through incremental
+    updates where the batched kernel re-derives them from the residual
+    each round, so gains agree to float precision, not bitwise. Decisions
+    differ only when a gain sits within rounding error of a tie or of the
+    gain tolerance — vanishingly rare with continuous channel draws, and
+    pinned by the golden-seed and conformance suites.
+    """
+
+    def __init__(self, d_matrix: np.ndarray, channels: Sequence[complex], max_flips: int = 10_000):
+        super().__init__(d_matrix, channels, max_flips=max_flips)
+        self._hr = np.ascontiguousarray(self.h.real)
+        self._hi = np.ascontiguousarray(self.h.imag)
+        # D's columns packed along L: weights by popcount, one word-XOR per
+        # flip. Bit-identical to the float path's d.sum(axis=0).
+        self._d_packed = pack_rows(self.d.T)
+        from repro.coding.gf2 import popcount
+
+        self._weights = popcount(self._d_packed).sum(axis=1, dtype=np.int64).astype(float)
+        self._wh2 = self._weights * np.abs(self.h) ** 2
+
+    # ---- decoding -------------------------------------------------------------
+    def decode(
+        self,
+        ys: np.ndarray,
+        init: np.ndarray,
+        frozen: Optional[np.ndarray] = None,
+    ) -> BatchedDecodeOutcome:
+        """Decode all M positions from a warm start (packed fast path)."""
+        ys = np.asarray(ys, dtype=complex)
+        if ys.ndim != 2 or ys.shape[0] != self.n_slots:
+            raise ValueError(f"ys must be (L={self.n_slots}, M), got {ys.shape}")
+        m = ys.shape[1]
+        init_bits = np.asarray(init, dtype=np.uint8)
+        if init_bits.shape != (self.k, m):
+            raise ValueError(f"init must be (K={self.k}, {m}), got {init_bits.shape}")
+        frozen_mask = (
+            np.zeros(self.k, dtype=bool)
+            if frozen is None
+            else np.asarray(frozen, dtype=bool).copy()
+        )
+        if frozen_mask.size != self.k:
+            raise ValueError("frozen mask length mismatch")
+
+        flips = np.zeros(m, dtype=np.int64)
+        active = np.ones(m, dtype=bool)
+        if m == 0:
+            return BatchedDecodeOutcome(
+                bits=init_bits.copy(), flips=flips, converged=active.copy(),
+                residual_norms=np.zeros(0),
+            )
+
+        # Same round-1 state as the batched kernel: the first gain pass is
+        # bitwise-identical; later rounds update the correlation in place.
+        # The residual is maintained with the batched kernel's exact update
+        # expressions — norms (and hence restart decisions) match it float
+        # for float even on degenerate columns where several local minima
+        # tie to the last ulp.
+        packed = pack_rows(init_bits)
+        signs = 1.0 - 2.0 * init_bits.astype(float)
+        residual = ys - self._signal @ init_bits.astype(float)
+        corr = self._dT @ np.conj(residual)
+        corr_re = np.ascontiguousarray(corr.real)
+        corr_im = np.ascontiguousarray(corr.imag)
+        del corr
+
+        self._run_rounds(corr_re, corr_im, signs, packed, residual, frozen_mask, active, flips)
+
+        bits = unpack_rows(packed, m)
+        norms = np.sqrt(np.sum(np.abs(residual) ** 2, axis=0))
+        return BatchedDecodeOutcome(
+            bits=bits,
+            flips=flips,
+            converged=flips < self.max_flips,
+            residual_norms=norms,
+        )
+
+    # ---- round loop (numpy) ---------------------------------------------------
+    def _run_rounds(
+        self,
+        corr_re: np.ndarray,
+        corr_im: np.ndarray,
+        signs: np.ndarray,
+        packed: np.ndarray,
+        residual: np.ndarray,
+        frozen_mask: np.ndarray,
+        active: np.ndarray,
+        flips: np.ndarray,
+    ) -> None:
+        overlap = self._overlap
+        one = np.uint64(1)
+        k_dim, m_dim = signs.shape
+        col_idx = np.arange(m_dim)
+        hr = self._hr[:, None]
+        hi = self._hi[:, None]
+        wh2 = self._wh2[:, None]
+        # Two reusable (K, M) scratch matrices: at this size every fresh
+        # temporary is an mmap round-trip, and the round loop runs dozens
+        # of times per decode.
+        gains = np.empty((k_dim, m_dim))
+        scratch = np.empty((k_dim, m_dim))
+        while True:
+            active &= flips < self.max_flips
+            if not active.any():
+                return
+            # Fused gain pass: sign · 2·Re(h·corr) − w·|h|², no complex
+            # temporaries. Elementwise-identical to the batched formula
+            # (scaling by 2.0 and multiplying by ±1 are exact, so the
+            # out= reassociation below cannot change a single bit).
+            # Computed over *all* columns — contiguous whole-matrix ops
+            # beat fancy-indexed copies of the active subset, and retired
+            # columns' gains are simply never consulted.
+            np.multiply(hr, corr_re, out=gains)
+            np.multiply(hi, corr_im, out=scratch)
+            np.subtract(gains, scratch, out=gains)
+            np.multiply(2.0, gains, out=gains)
+            np.multiply(signs, gains, out=gains)
+            np.subtract(gains, wh2, out=gains)
+            gains[frozen_mask, :] = _NEG_INF
+            best = np.argmax(gains, axis=0)
+            best_gain = gains[best, col_idx]
+            flippable = active & np.isfinite(best_gain) & (best_gain > _GAIN_TOL)
+
+            for col_i in np.flatnonzero(active & ~flippable):
+                col = int(col_i)
+                pair = self._best_pair_flip(
+                    gains[:, col], self.h * signs[:, col], frozen_mask
+                )
+                if pair is None:
+                    active[col] = False
+                    continue
+                for idx in pair:
+                    self._apply_flip(
+                        corr_re, corr_im, signs, packed, residual, int(idx), col,
+                        overlap, one,
+                    )
+                flips[col] += 1
+
+            fcols = np.flatnonzero(flippable)
+            if fcols.size:
+                fbits = best[fcols]
+                s = signs[fbits, fcols]
+                fdelta = self.h[fbits] * s
+                fdre = self._hr[fbits] * s
+                fdim = self._hi[fbits] * s
+                ov = overlap[:, fbits]  # one gather, reused for re and im
+                if fcols.size == m_dim:
+                    # Every column flips (the common dense-error regime):
+                    # skip the fancy-indexed read/modify/write round-trip.
+                    corr_re -= ov * fdre[None, :]
+                    corr_im += ov * fdim[None, :]
+                    residual -= self._d_f[:, fbits] * fdelta[None, :]
+                else:
+                    corr_re[:, fcols] -= ov * fdre[None, :]
+                    corr_im[:, fcols] += ov * fdim[None, :]
+                    # The batched kernel's exact residual update expression.
+                    residual[:, fcols] -= self._d_f[:, fbits] * fdelta[None, :]
+                signs[fbits, fcols] = -s
+                # Word XOR per flip; ufunc.at because two columns of the
+                # same tag may share a word within one round.
+                np.bitwise_xor.at(
+                    packed,
+                    (fbits, fcols // 64),
+                    one << (fcols % 64).astype(np.uint64),
+                )
+                flips[fcols] += 1
+
+    def _apply_flip(
+        self,
+        corr_re: np.ndarray,
+        corr_im: np.ndarray,
+        signs: np.ndarray,
+        packed: np.ndarray,
+        residual: np.ndarray,
+        idx: int,
+        col: int,
+        overlap: np.ndarray,
+        one: np.uint64,
+    ) -> None:
+        """Flip bit ``idx`` of column ``col``: correlation axpy + word XOR."""
+        s = signs[idx, col]
+        d_col = self.h[idx] * s
+        dre = self._hr[idx] * s
+        dim = self._hi[idx] * s
+        ov = overlap[:, idx]
+        corr_re[:, col] -= ov * dre
+        corr_im[:, col] -= ov * (-dim)
+        # The batched kernel's exact pair-flip residual update expression.
+        residual[self.d[:, idx].astype(bool), col] -= d_col
+        signs[idx, col] = -s
+        packed[idx, col // 64] ^= one << np.uint64(col % 64)
+
+
+def _fused_rounds_impl(
+    corr_re, corr_im, signs, packed, residual, d_f, h, hr, hi, wh2, overlap,
+    frozen, active, flips, max_flips,
+):  # pragma: no cover - exercised via NumbaBitFlipDecoder tests
+    """Single-flip rounds until every active column stalls or retires.
+
+    The numba-jitted heart of :class:`NumbaBitFlipDecoder` — one fused
+    pass per round over the active columns: per-element gain evaluation
+    (same expression tree as the packed numpy path, so results match
+    bitwise), first-maximum argmax, and in-place correlation/sign/packed-
+    word updates. Columns whose best gain is not above the tolerance are
+    reported back for the (rare, numpy-side) pair-flip escape. Returns the
+    stalled column indices, ascending; empty when every column retired.
+    """
+    k_dim, m_dim = signs.shape
+    stalled = np.empty(m_dim, dtype=np.int64)
+    one = np.uint64(1)
+    while True:
+        n_stalled = 0
+        n_active = 0
+        for col in range(m_dim):
+            if active[col] and flips[col] >= max_flips:
+                active[col] = False
+        for col in range(m_dim):
+            if not active[col]:
+                continue
+            n_active += 1
+            best = -1
+            best_gain = -np.inf
+            for i in range(k_dim):
+                if frozen[i]:
+                    continue
+                base = 2.0 * (hr[i] * corr_re[i, col] - hi[i] * corr_im[i, col])
+                g = signs[i, col] * base - wh2[i]
+                if g > best_gain:
+                    best_gain = g
+                    best = i
+            if best < 0 or not (best_gain > _GAIN_TOL) or not np.isfinite(best_gain):
+                stalled[n_stalled] = col
+                n_stalled += 1
+                continue
+            s = signs[best, col]
+            dre = hr[best] * s
+            dim = hi[best] * s
+            dlt = h[best] * s
+            for r in range(k_dim):
+                ov = overlap[r, best]
+                corr_re[r, col] -= ov * dre
+                corr_im[r, col] -= ov * (-dim)
+            for r in range(residual.shape[0]):
+                residual[r, col] -= d_f[r, best] * dlt
+            signs[best, col] = -s
+            packed[best, col // 64] ^= one << np.uint64(col % 64)
+            flips[col] += 1
+        if n_stalled > 0 or n_active == 0:
+            return stalled[:n_stalled].copy()
+
+
+try:  # optional accelerator: `pip install .[fast]`
+    from numba import njit as _njit
+
+    _fused_rounds = _njit(_fused_rounds_impl)
+    HAVE_NUMBA = True
+except Exception:  # numba absent (or broken): clean pure-python fallback
+    _fused_rounds = _fused_rounds_impl
+    HAVE_NUMBA = False
+
+
+class NumbaBitFlipDecoder(PackedBitFlipDecoder):
+    """Packed kernel with the round loop jitted by numba when available.
+
+    Identical state and arithmetic to :class:`PackedBitFlipDecoder`; only
+    the per-round driver moves into :func:`_fused_rounds_impl`, which
+    numba compiles when installed. Without numba the same function runs as
+    pure Python — correct but slow, so :func:`resolve_kernel` only selects
+    this class when numba is importable; constructing it directly always
+    works (the conformance tests pin the fallback on small instances).
+    """
+
+    def _run_rounds(
+        self,
+        corr_re: np.ndarray,
+        corr_im: np.ndarray,
+        signs: np.ndarray,
+        packed: np.ndarray,
+        residual: np.ndarray,
+        frozen_mask: np.ndarray,
+        active: np.ndarray,
+        flips: np.ndarray,
+    ) -> None:
+        overlap = self._overlap
+        one = np.uint64(1)
+        while True:
+            stalled = _fused_rounds(
+                corr_re, corr_im, signs, packed, residual, self._d_f, self.h,
+                self._hr, self._hi, self._wh2, overlap,
+                frozen_mask, active, flips, self.max_flips,
+            )
+            if stalled.size == 0:
+                return
+            # Pair-flip escape for the stalled columns, from the same gain
+            # snapshot the fused round saw (their columns are untouched).
+            for col_i in stalled:
+                col = int(col_i)
+                base = 2.0 * (
+                    self._hr * corr_re[:, col] - self._hi * corr_im[:, col]
+                )
+                gains = signs[:, col] * base - self._wh2
+                gains[frozen_mask] = _NEG_INF
+                pair = self._best_pair_flip(
+                    gains, self.h * signs[:, col], frozen_mask
+                )
+                if pair is None:
+                    active[col] = False
+                    continue
+                for idx in pair:
+                    self._apply_flip(
+                        corr_re, corr_im, signs, packed, residual, int(idx), col,
+                        overlap, one,
+                    )
+                flips[col] += 1
+
+
+# ---- kernel selection registry ------------------------------------------------
+
+#: Environment variable selecting the decode kernel for the rateless loop.
+KERNEL_ENV_VAR = "REPRO_DECODER_KERNEL"
+
+_KERNELS = {
+    "batched": BatchedBitFlipDecoder,
+    "packed": PackedBitFlipDecoder,
+    "numba": NumbaBitFlipDecoder,
+}
+
+
+def available_kernels() -> list:
+    """Names :func:`resolve_kernel` accepts (``auto`` resolves per machine)."""
+    return ["auto", *sorted(_KERNELS)]
+
+
+def register_kernel(name: str, cls: type) -> None:
+    """Register a batched-API decode kernel under ``name``.
+
+    The class must accept ``(d_matrix, channels, max_flips=...)`` and
+    provide ``decode_best_of`` with :class:`BatchedBitFlipDecoder`'s
+    signature and draw order — every scheme, session, and campaign backend
+    reaches the kernel through this registry.
+    """
+    _KERNELS[str(name).lower()] = cls
+
+
+def resolve_kernel(name: Optional[str] = None) -> type:
+    """Resolve a kernel name (or the ``REPRO_DECODER_KERNEL`` env var).
+
+    ``auto`` (the default when the variable is unset or empty) picks the
+    numba-jitted kernel when numba is importable and the packed numpy
+    kernel otherwise. Requesting ``numba`` without numba installed falls
+    back to ``packed`` rather than running the pure-python loop.
+    """
+    requested = name if name is not None else os.environ.get(KERNEL_ENV_VAR, "")
+    requested = (requested or "auto").strip().lower()
+    if requested == "auto":
+        return NumbaBitFlipDecoder if HAVE_NUMBA else PackedBitFlipDecoder
+    if requested == "numba" and not HAVE_NUMBA:
+        return PackedBitFlipDecoder
+    try:
+        return _KERNELS[requested]
+    except KeyError:
+        raise ValueError(
+            f"unknown decoder kernel {requested!r}; choose from {available_kernels()}"
+        ) from None

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.coding.crc import CRC5_GEN2, CrcSpec, crc_check_matrix
 from repro.coding.prng import slot_decision_matrix
-from repro.core.bp_decoder import BatchedBitFlipDecoder
+from repro.core.bp_decoder import resolve_kernel
 from repro.core.config import BuzzConfig
 from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
 from repro.nodes.reader import ReaderFrontEnd
@@ -212,12 +212,16 @@ class RatelessDecoder:
     def try_decode(self) -> DecodeProgress:
         """Run the batched BP kernel over all positions at once.
 
-        All P positions share D and ĥ, so one
-        :class:`~repro.core.bp_decoder.BatchedBitFlipDecoder` call per
+        All P positions share D and ĥ, so one batched bit-flip call per
         round warm-starts every column from the previous estimate, flips
         to per-column local optima (with random restarts while a column's
         residual is poor), then CRC-checks whole messages and freezes the
         passers — replacing the former P independent per-position decodes.
+        The kernel class comes from the selection registry
+        (:func:`~repro.core.bp_decoder.resolve_kernel`, honouring the
+        ``REPRO_DECODER_KERNEL`` environment variable), so sessions,
+        mobility, silencing, and every campaign backend inherit the
+        fastest bit-identical implementation available.
         """
         if not self._rows:
             snapshot = DecodeProgress(slot=0, newly_decoded=0, total_decoded=0)
@@ -225,7 +229,8 @@ class RatelessDecoder:
             return snapshot
         d = np.stack(self._rows)
         y = np.stack(self._symbols)  # (L, P)
-        kernel = BatchedBitFlipDecoder(d, self.h, max_flips=self.config.bp_max_flips)
+        kernel_cls = resolve_kernel()
+        kernel = kernel_cls(d, self.h, max_flips=self.config.bp_max_flips)
 
         # BP + verify to a fixpoint: each freeze pins bits that may unlock
         # further flips and further freezes — the paper's ripple effect,

@@ -1,0 +1,170 @@
+"""Equivalence and registry tests for the bit-packed decode kernels.
+
+`PackedBitFlipDecoder` (and its numba twin) must be drop-in replacements
+for `BatchedBitFlipDecoder`: same bits, same flip counts, same residual
+norms — including through `decode_best_of`'s restart RNG draw order,
+which the rateless session loop leans on for reproducibility. These tests
+pin that equivalence on randomised instances (hypothesis), on the kernel
+registry's resolution rules, and on a golden-seed end-to-end buzz session
+decoded once per kernel.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core.bp_decoder as bp
+from repro.core.bp_decoder import (
+    HAVE_NUMBA,
+    KERNEL_ENV_VAR,
+    BatchedBitFlipDecoder,
+    NumbaBitFlipDecoder,
+    PackedBitFlipDecoder,
+    available_kernels,
+    register_kernel,
+    resolve_kernel,
+)
+from repro.core.config import BuzzConfig
+from repro.engine.schemes import get_scheme
+from repro.network.scenarios import default_uplink_scenario
+from repro.nodes.reader import ReaderFrontEnd
+from repro.utils.rng import SeedSequenceFactory
+
+
+def _instance(seed, max_m=8):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(2, 14))
+    m = int(rng.integers(1, max_m + 1))
+    slots = int(rng.integers(k, 3 * k + 4))
+    d = (rng.random((slots, k)) < rng.uniform(0.1, 0.6)).astype(np.uint8)
+    h = rng.normal(size=k) + 1j * rng.normal(size=k)
+    ys = rng.normal(size=(slots, m)) + 1j * rng.normal(size=(slots, m))
+    init = (rng.random((k, m)) < 0.5).astype(np.uint8)
+    frozen = rng.random(k) < 0.25 if rng.random() < 0.5 else None
+    return d, h, ys, init, frozen
+
+
+def _assert_same_outcome(a, b):
+    assert np.array_equal(a.bits, b.bits)
+    assert np.array_equal(a.flips, b.flips)
+    assert np.array_equal(a.converged, b.converged)
+    assert np.array_equal(a.residual_norms, b.residual_norms)
+
+
+class TestPackedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_decode_matches_batched(self, seed):
+        d, h, ys, init, frozen = _instance(seed)
+        ref = BatchedBitFlipDecoder(d, h, max_flips=40).decode(ys, init, frozen=frozen)
+        got = PackedBitFlipDecoder(d, h, max_flips=40).decode(ys, init, frozen=frozen)
+        _assert_same_outcome(ref, got)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_decode_best_of_preserves_restart_draw_order(self, seed):
+        d, h, ys, init, frozen = _instance(seed)
+        ref = BatchedBitFlipDecoder(d, h, max_flips=40).decode_best_of(
+            ys, restarts=3, rng=np.random.default_rng(seed ^ 0x5A5A), init=init, frozen=frozen
+        )
+        got = PackedBitFlipDecoder(d, h, max_flips=40).decode_best_of(
+            ys, restarts=3, rng=np.random.default_rng(seed ^ 0x5A5A), init=init, frozen=frozen
+        )
+        _assert_same_outcome(ref, got)
+
+    def test_positions_past_one_word_boundary(self):
+        """M > 64 exercises multi-word packed rows end to end."""
+        rng = np.random.default_rng(11)
+        k, m, slots = 6, 70, 18
+        d = (rng.random((slots, k)) < 0.4).astype(np.uint8)
+        h = rng.normal(size=k) + 1j * rng.normal(size=k)
+        ys = rng.normal(size=(slots, m)) + 1j * rng.normal(size=(slots, m))
+        init = (rng.random((k, m)) < 0.5).astype(np.uint8)
+        ref = BatchedBitFlipDecoder(d, h).decode(ys, init)
+        got = PackedBitFlipDecoder(d, h).decode(ys, init)
+        _assert_same_outcome(ref, got)
+
+    def test_zero_positions(self):
+        d, h, _, _, _ = _instance(3)
+        out = PackedBitFlipDecoder(d, h).decode(np.zeros((d.shape[0], 0)), np.zeros((d.shape[1], 0), dtype=np.uint8))
+        assert out.bits.shape == (d.shape[1], 0)
+        assert out.residual_norms.size == 0
+
+
+class TestNumbaKernel:
+    """Without numba installed these run the pure-python fused loop —
+    slow, but it is the same code numba jits, so equality here covers the
+    jitted path's expression tree too."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_decode_matches_batched(self, seed):
+        d, h, ys, init, frozen = _instance(seed, max_m=4)
+        ref = BatchedBitFlipDecoder(d, h, max_flips=30).decode(ys, init, frozen=frozen)
+        got = NumbaBitFlipDecoder(d, h, max_flips=30).decode(ys, init, frozen=frozen)
+        _assert_same_outcome(ref, got)
+
+
+class TestKernelRegistry:
+    def test_available_kernels(self):
+        names = available_kernels()
+        assert names[0] == "auto"
+        assert {"batched", "packed", "numba"} <= set(names)
+
+    def test_auto_resolution_tracks_numba_availability(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        expected = NumbaBitFlipDecoder if HAVE_NUMBA else PackedBitFlipDecoder
+        assert resolve_kernel() is expected
+        assert resolve_kernel("auto") is expected
+
+    def test_env_var_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "batched")
+        assert resolve_kernel() is BatchedBitFlipDecoder
+        monkeypatch.setenv(KERNEL_ENV_VAR, "PACKED")
+        assert resolve_kernel() is PackedBitFlipDecoder
+        monkeypatch.setenv(KERNEL_ENV_VAR, "")
+        assert resolve_kernel() in (NumbaBitFlipDecoder, PackedBitFlipDecoder)
+
+    def test_numba_request_without_numba_falls_back_to_packed(self, monkeypatch):
+        monkeypatch.setattr(bp, "HAVE_NUMBA", False)
+        assert resolve_kernel("numba") is PackedBitFlipDecoder
+        assert resolve_kernel("auto") is PackedBitFlipDecoder
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError, match="unknown decoder kernel"):
+            resolve_kernel("turbo")
+
+    def test_register_kernel_round_trip(self, monkeypatch):
+        monkeypatch.setattr(bp, "_KERNELS", dict(bp._KERNELS))
+
+        class Custom(PackedBitFlipDecoder):
+            pass
+
+        register_kernel("custom", Custom)
+        assert resolve_kernel("custom") is Custom
+        assert "custom" in available_kernels()
+
+
+class TestGoldenSessionEquivalence:
+    def _run_buzz_e2e(self, seed=2024, n_tags=6):
+        scenario = default_uplink_scenario(n_tags)
+        seeds = SeedSequenceFactory(seed)
+        population = scenario.draw_population(seeds.stream("location", 0))
+        front_end = ReaderFrontEnd(noise_std=population.noise_std)
+        return get_scheme("buzz-e2e").run(
+            population, front_end, seeds.stream("trace", 0, 0, "buzz-e2e"),
+            config=BuzzConfig(),
+        )
+
+    def test_buzz_e2e_session_identical_across_kernels(self, monkeypatch):
+        """Golden seed: a full identification+data session decodes to the
+        same transcript whichever registry kernel runs underneath."""
+        monkeypatch.setenv(KERNEL_ENV_VAR, "batched")
+        ref = self._run_buzz_e2e()
+        monkeypatch.setenv(KERNEL_ENV_VAR, "packed")
+        got = self._run_buzz_e2e()
+        assert ref.message_loss == got.message_loss
+        assert ref.slots_used == got.slots_used
+        assert ref.bit_errors == got.bit_errors
+        assert ref.duration_s == got.duration_s
+        assert list(ref.transmissions) == list(got.transmissions)
