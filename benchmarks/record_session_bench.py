@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Record session wall times to ``BENCH_session.json``.
+
+Times one full seeded :func:`run_rateless_uplink` session per
+tag-population size K, under both decode-state modes — ``rebuild``
+(every decode call re-stacks the (L, K) problem and re-derives its
+gemms) and ``incremental`` (the persistent
+:class:`~repro.core.decoder_state.DecoderState`: rank-(new rows)
+extension per slot, frozen-column peeling per verify pass). Every pair
+of runs is also checked byte-identical — a speedup over a diverging
+session would be meaningless.
+
+The workload is the shared one from ``benchmarks/test_bench_session.py``
+(SNR-band channels, 2·K slots), so the committed artifact and the CI
+gate measure the same sessions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_session_bench.py          # full sweep
+    PYTHONPATH=src python benchmarks/record_session_bench.py --smoke  # CI smoke
+    PYTHONPATH=src python benchmarks/record_session_bench.py -o out.json
+
+The artifact is a single JSON object::
+
+    {
+      "schema": "bench-session/v1",
+      "workload": {...},                # shared session parameters
+      "series": [
+        {"k": 500, "slots": 1000, "decoded": 496,
+         "rebuild_seconds": 412.0, "incremental_seconds": 58.3,
+         "speedup": 7.07, "identical": true},
+        ...
+      ]
+    }
+
+``*_seconds`` is the median of ``--rounds`` timed sessions (decoder and
+state construction included — they are part of the honest session cost).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from test_bench_session import (  # noqa: E402
+    BP_RESTARTS,
+    NOISE_STD,
+    SEED,
+    SLOTS_PER_K,
+    SNR_BAND_DB,
+    identical,
+    run_session,
+    session_workload,
+)
+
+_FULL_SWEEP = (50, 100, 200, 500)
+_SMOKE_SWEEP = (50, 120)
+
+
+def record(ks, rounds):
+    series = []
+    for k in ks:
+        pop, fe = session_workload(k)
+        results = {}
+        times = {}
+        for mode, incremental in (("rebuild", False), ("incremental", True)):
+            samples = []
+            for _ in range(rounds):
+                result, elapsed = run_session(pop, fe, k, incremental=incremental)
+                samples.append(elapsed)
+            results[mode] = result
+            times[mode] = float(np.median(samples))
+        same = identical(results["incremental"], results["rebuild"])
+        entry = {
+            "k": int(k),
+            "slots": int(results["incremental"].slots_used),
+            "decoded": int(results["incremental"].n_decoded),
+            "rebuild_seconds": times["rebuild"],
+            "incremental_seconds": times["incremental"],
+            "speedup": times["rebuild"] / times["incremental"],
+            "identical": bool(same),
+        }
+        series.append(entry)
+        print(
+            f"K={entry['k']:>4}: rebuild {entry['rebuild_seconds']:8.2f}s  "
+            f"incremental {entry['incremental_seconds']:8.2f}s  "
+            f"({entry['speedup']:.2f}x)  decoded {entry['decoded']}/{k}  "
+            f"identical={entry['identical']}",
+            flush=True,
+        )
+    return {
+        "schema": "bench-session/v1",
+        "workload": {
+            "snr_band_db": list(SNR_BAND_DB),
+            "noise_std": NOISE_STD,
+            "slots_per_k": SLOTS_PER_K,
+            "bp_restarts": BP_RESTARTS,
+            "message_bits": 32,
+            "seed": SEED,
+            "rounds": rounds,
+        },
+        "series": series,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced sweep and a single timed round per point (CI)",
+    )
+    parser.add_argument("--rounds", type=int, default=1, help="timed rounds per point")
+    parser.add_argument(
+        "-o", "--output",
+        default=str(Path(__file__).parent.parent / "BENCH_session.json"),
+        help="output path (default: repo-root BENCH_session.json)",
+    )
+    args = parser.parse_args(argv)
+    ks = _SMOKE_SWEEP if args.smoke else _FULL_SWEEP
+    payload = record(ks, 1 if args.smoke else args.rounds)
+    failures = [e["k"] for e in payload["series"] if not e["identical"]]
+    if failures:
+        raise SystemExit(f"incremental diverged from rebuild at K={failures}")
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(payload['series'])} points)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Benchmark gate for the incremental decoder state (session level).
+
+The rateless loop's incremental path keeps one persistent
+:class:`~repro.core.decoder_state.DecoderState` per session — rank-(new
+rows) structure updates on every slot, frozen-column peeling after every
+verify pass — instead of rebuilding the (L, K) problem from scratch on
+each decode call. Two properties are gated here:
+
+* **Identity.** A seeded session decodes byte-identically under both
+  modes: decoded mask, messages, slots used, and the whole
+  ``DecodeProgress`` trace.
+* **Speed.** The incremental path wins, live at a CI-sized K and ≥ 3× at
+  K = 500 in the committed ``BENCH_session.json`` artifact (regenerate
+  with ``benchmarks/record_session_bench.py``).
+
+The workload is a fixed-length ``run_rateless_uplink`` session (2·K
+slots, SNR-band channels) — deterministic wall-clock shape at every K,
+with most tags decoding (and being peeled) along the way. It runs with
+``bp_restarts=0``: the restart protocol is identical shared work in both
+modes (re-running flip rounds from perturbed starts), orthogonal to the
+rebuild-vs-incremental setup cost this gate isolates.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import BuzzConfig
+from repro.core.rateless import STATE_ENV_VAR, run_rateless_uplink
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import channels_for_snr_band
+
+_ARTIFACT = Path(__file__).parent.parent / "BENCH_session.json"
+
+#: Shared workload parameters — record_session_bench.py imports these so
+#: the committed artifact and the live gate measure the same thing.
+SNR_BAND_DB = (12.0, 20.0)
+NOISE_STD = 0.1
+SLOTS_PER_K = 2
+SEED = 7
+BP_RESTARTS = 0
+
+
+def session_workload(k, seed=SEED):
+    """Population + front end for one benchmark session at size K."""
+    rng = np.random.default_rng(seed)
+    h = channels_for_snr_band(k, SNR_BAND_DB[0], SNR_BAND_DB[1], rng,
+                              noise_std=NOISE_STD)
+    pop = make_population(k, rng, channels=h)
+    id_rng = np.random.default_rng(seed + 1000)
+    for tag in pop.tags:
+        tag.draw_temp_id(10 * k * k, id_rng)
+    return pop, ReaderFrontEnd(noise_std=NOISE_STD)
+
+
+def run_session(pop, front_end, k, incremental, seed=SEED):
+    """One timed session; returns (result, wall_seconds)."""
+    previous = os.environ.get(STATE_ENV_VAR)
+    os.environ[STATE_ENV_VAR] = "incremental" if incremental else "rebuild"
+    try:
+        start = time.perf_counter()
+        result = run_rateless_uplink(
+            pop.tags, front_end, np.random.default_rng(seed),
+            config=BuzzConfig(bp_restarts=BP_RESTARTS),
+            max_slots=SLOTS_PER_K * k,
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop(STATE_ENV_VAR, None)
+        else:
+            os.environ[STATE_ENV_VAR] = previous
+    return result, elapsed
+
+
+def identical(a, b):
+    return (
+        np.array_equal(a.decoded_mask, b.decoded_mask)
+        and np.array_equal(a.messages, b.messages)
+        and a.slots_used == b.slots_used
+        and a.progress == b.progress
+    )
+
+
+def test_bench_session_incremental_identical_and_not_slower(benchmark):
+    """Live gate: at a CI-sized K the incremental session is byte-identical
+    to the rebuild session and at least as fast (1.15× slack for load)."""
+    k = 120
+    pop, fe = session_workload(k)
+    inc, t_inc = run_session(pop, fe, k, incremental=True)
+    reb, t_reb = run_session(pop, fe, k, incremental=False)
+
+    assert identical(inc, reb), "incremental session diverged from rebuild"
+    assert inc.n_decoded > 0.8 * k  # the workload must actually decode
+    assert t_inc <= t_reb * 1.15, (
+        f"incremental {t_inc:.2f}s slower than rebuild {t_reb:.2f}s"
+    )
+
+    benchmark.extra_info["incremental_seconds"] = t_inc
+    benchmark.extra_info["rebuild_seconds"] = t_reb
+    benchmark(lambda: run_session(pop, fe, k, incremental=True))
+
+
+def test_session_artifact_records_3x_at_k500():
+    """The committed BENCH_session.json must carry the acceptance numbers:
+    K = 500 present, byte-identical, and ≥ 3× incremental speedup."""
+    assert _ARTIFACT.exists(), "run benchmarks/record_session_bench.py first"
+    payload = json.loads(_ARTIFACT.read_text())
+    assert payload["schema"] == "bench-session/v1"
+    series = payload["series"]
+    assert all(entry["identical"] for entry in series)
+    k500 = [entry for entry in series if entry["k"] == 500]
+    assert k500, "artifact is missing the K=500 acceptance point"
+    entry = k500[0]
+    speedup = entry["rebuild_seconds"] / entry["incremental_seconds"]
+    assert speedup >= 3.0, f"K=500 speedup {speedup:.2f}x below the 3x gate"
+    assert entry["speedup"] >= 3.0

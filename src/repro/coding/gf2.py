@@ -65,24 +65,34 @@ def packed_words(n_bits: int) -> int:
     return (int(n_bits) + WORD_BITS - 1) // WORD_BITS
 
 
-def pack_rows(bits: np.ndarray) -> np.ndarray:
+def pack_rows(bits: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Pack the last axis of a 0/1 array into uint64 words.
 
     ``(..., n)`` → ``(..., ceil(n/64))``; bit *m* lands in word ``m // 64``
-    at bit position ``m % 64``. Trailing pad bits are zero.
+    at bit position ``m % 64``. Trailing pad bits are zero. ``out``, when
+    given, must be a uint64 array of the result shape and receives the
+    packed words in place (callers that re-pack the same estimate matrix
+    every decode round reuse one scratch buffer instead of allocating).
     """
     bits = np.asarray(bits)
     if not (((bits == 0) | (bits == 1)).all()):
         raise ValueError("pack_rows expects a 0/1 array")
     n = bits.shape[-1]
     n_words = packed_words(n)
+    result_shape = bits.shape[:-1] + (n_words,)
     padded = np.zeros(bits.shape[:-1] + (n_words * WORD_BITS,), dtype=np.uint8)
     padded[..., :n] = bits
     # packbits does the bit-level work in C; the byte→word assembly below is
     # arithmetic (shifts), so the layout is byte-order independent.
     as_bytes = np.packbits(padded, axis=-1, bitorder="little")
     grouped = as_bytes.reshape(bits.shape[:-1] + (n_words, 8)).astype(np.uint64)
-    return np.bitwise_or.reduce(grouped << _BYTE_SHIFTS, axis=-1)
+    if out is None:
+        return np.bitwise_or.reduce(grouped << _BYTE_SHIFTS, axis=-1)
+    if out.shape != result_shape or out.dtype != np.uint64:
+        raise ValueError(
+            f"out must be uint64 of shape {result_shape}, got {out.dtype} {out.shape}"
+        )
+    return np.bitwise_or.reduce(grouped << _BYTE_SHIFTS, axis=-1, out=out)
 
 
 def unpack_rows(words: np.ndarray, n_bits: int) -> np.ndarray:

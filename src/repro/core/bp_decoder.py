@@ -37,6 +37,9 @@ from repro.utils.validation import ensure_positive_int
 __all__ = [
     "BitFlipDecoder",
     "DecodeOutcome",
+    "best_pair_flip",
+    "pair_cross_caps",
+    "cross_magnitudes",
     "BatchedBitFlipDecoder",
     "BatchedDecodeOutcome",
     "PackedBitFlipDecoder",
@@ -61,11 +64,53 @@ def _tril_indices(n: int) -> tuple:
     return np.tril_indices(n)
 
 
+def cross_magnitudes(h: np.ndarray) -> np.ndarray:
+    """``(K, K)`` exact pair cross-term magnitudes ``2|Re(conj(h_i)·h_j)|``.
+
+    The pair-flip cross term is ``2·Re(conj(δ_i)·δ_j)·ov_ij`` with
+    ``δ = ±h`` — the bit signs flip its sign but never its magnitude, so
+    this matrix times the overlap bounds every pair's cross term exactly
+    (only the sign alignment is unknown). Static per channel vector: the
+    state computes it once per (re)channel event, kernels lazily per
+    problem.
+    """
+    h = np.asarray(h, dtype=complex).ravel()
+    return 2.0 * np.abs(np.real(np.conj(h)[:, None] * h[None, :]))
+
+
+def pair_cross_caps(
+    overlap: np.ndarray,
+    h: np.ndarray,
+    cross_mag: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-node cap on the pair-flip cross term:
+    ``max_j 2|Re(conj(h_i)·h_j)|·ov_ij``.
+
+    The cross-term magnitude is *exact* whatever the current estimates
+    are (:func:`cross_magnitudes` — the bit signs cancel under the
+    absolute value), so the caps depend only on the channels and the
+    slot-overlap counts, and can be computed once per problem (or
+    maintained incrementally; overlap counts only grow) and reused at
+    every stall. Pass ``cross_mag`` to reuse an already-computed
+    magnitude matrix. See :func:`best_pair_flip` for how the caps prove
+    a scan fruitless in O(K).
+    """
+    h = np.asarray(h).ravel()
+    if h.size == 0:
+        return np.zeros(0)
+    c = (cross_magnitudes(h) if cross_mag is None else cross_mag) * overlap
+    np.fill_diagonal(c, 0.0)
+    return c.max(axis=1)
+
+
 def best_pair_flip(
     gains: np.ndarray,
     delta: np.ndarray,
     overlap: np.ndarray,
     frozen: np.ndarray,
+    cap: Optional[np.ndarray] = None,
+    cross_mag: Optional[np.ndarray] = None,
+    co: Optional[np.ndarray] = None,
 ) -> Optional[tuple]:
     """Best positive-gain joint two-bit flip, closed form, or ``None``.
 
@@ -77,13 +122,119 @@ def best_pair_flip(
     unfrozen bits in row-major order, first strict maximum above the gain
     tolerance. Shared by every decoder kernel (per-position, batched,
     packed, numba) so all take identical escape decisions at a stall.
-    Quadratic in K, but only invoked when single flips have stalled.
+
+    ``cap``, when given, is :func:`pair_cross_caps` for this problem and
+    restricts the scan to a candidate set in O(K): a pair's gain is at
+    most ``G_i + G_j + 2|Re(conj(h_i)h_j)|·ov_ij ≤ G_i + G_j + cap_i``
+    (and the same with ``cap_j``), so *both* endpoints of any pair
+    clearing the (positive) gain tolerance must satisfy
+    ``max_{l≠x} G_l + G_x + cap_x > 0``. The scan then runs exact gains
+    on (candidates × candidates) rather than (free × free), and returns
+    the same answer bit for bit: per-pair gains are elementwise float
+    expressions (identical either way, and symmetric in the pair order),
+    excluded pairs provably sit at or below zero, and exact-tie
+    selection reproduces the full scan's first-maximum row-major order.
+    The caps swing the cost precisely where it matters — every
+    *converged* column pays one final fruitless scan as its
+    stall-termination proof, and that proof now costs O(K) (candidate
+    set smaller than a pair) instead of O(K²). Quadratic in the
+    candidate count otherwise — narrow blocks take the exact complex
+    gain matrix directly, wide blocks run a real-arithmetic per-pair
+    bound first (``cross_mag``, :func:`cross_magnitudes`, makes it
+    exact up to sign alignment) and evaluate exact gains only for the
+    survivors; both select identically. ``co`` is the precomputed
+    elementwise product ``cross_mag * overlap`` — callers scanning many
+    columns against one problem pay that K×K multiply once and each
+    wide block then costs a single row gather plus two adds. Only
+    invoked when single flips have stalled.
     """
     free = np.flatnonzero(~frozen)
     if free.size < 2:
         return None
     g = gains[free]
     dlt = delta[free]
+    if cap is not None:
+        capf = cap[free]
+        top2, top1 = np.partition(g, g.size - 2)[-2:]
+        gexcl = np.full(g.size, top1)
+        gexcl[int(np.argmax(g))] = top2
+        cand = np.flatnonzero(gexcl + (g + capf) > 0.0)
+        if cand.size < 2:
+            return None
+        gc = g[cand]
+        dc = dlt[cand]
+        sub = cand if free.size == overlap.shape[0] else free[cand]
+        if 2 * cand.size <= g.size:
+            # Narrow block: exact gains on (cand × cand) — elementwise
+            # the same float expressions as the full matrix, so values
+            # (and therefore the maximum and its ties) are bit-identical
+            # to the full scan below.
+            ov = overlap[np.ix_(sub, sub)]
+            cross = 2.0 * np.real(np.conj(dc)[:, None] * dc[None, :])
+            pair_gains = gc[:, None] + gc[None, :] - cross * ov
+            np.fill_diagonal(pair_gains, _NEG_INF)
+            best = pair_gains.max()
+            if not best > _GAIN_TOL:
+                return None
+            rows, cols = np.nonzero(pair_gains == best)
+            ii = cand[rows]
+            jj = cand[cols]
+        else:
+            # Wide block: real-arithmetic per-pair bound over
+            # (cand × free) — contiguous row gathers, which at this size
+            # beat a 2-D ``np.ix_`` gather even though they keep the
+            # non-candidate columns — then exact complex gains just for
+            # the pairs that pass. The bound is exact up to sign
+            # alignment when ``co``/``cross_mag`` is supplied. Extra
+            # columns are harmless: a pair with an endpoint outside
+            # ``cand`` provably has gain ≤ 0, so it can neither win nor
+            # tie the strict maximum.
+            full_free = free.size == overlap.shape[0]
+            if co is not None:
+                bound = co[sub] if full_free else co[sub][:, free]
+            else:
+                ov_rows = overlap[sub] if full_free else overlap[sub][:, free]
+                if cross_mag is not None:
+                    cm_rows = (
+                        cross_mag[sub] if full_free else cross_mag[sub][:, free]
+                    )
+                    bound = cm_rows * ov_rows
+                else:
+                    bound = (
+                        2.0 * np.abs(dc)[:, None] * np.abs(dlt)[None, :]
+                    ) * ov_rows
+            bound += g[None, :]
+            bound[np.arange(cand.size), cand] = _NEG_INF
+            # Row maxima prove most stalls fruitless in one reduction
+            # pass, and narrow the survivor walk to the rows that can
+            # still hold a positive pair: float addition is monotone, so
+            # a row whose maximum plus its own gain is ≤ 0 has no
+            # positive element — the compare + nonzero below see only
+            # the live rows and the survivor set is unchanged.
+            alive = np.flatnonzero(bound.max(axis=1) + gc > 0.0)
+            if alive.size == 0:
+                return None
+            bound = bound[alive]
+            bound += gc[alive, None]
+            brows, bcols = np.nonzero(bound > 0.0)
+            if brows.size == 0:
+                return None
+            arows = alive[brows]
+            ii = cand[arows]
+            jj = bcols
+            cross = 2.0 * np.real(np.conj(dlt[ii]) * dlt[jj])
+            ov_pairs = overlap[sub[arows], bcols if full_free else free[bcols]]
+            pair_gains = g[ii] + g[jj] - cross * ov_pairs
+            best = pair_gains.max()
+            if not best > _GAIN_TOL:
+                return None
+            tied = np.flatnonzero(pair_gains == best)
+            ii = ii[tied]
+            jj = jj[tied]
+        i = np.minimum(ii, jj)
+        j = np.maximum(ii, jj)
+        sel = int(np.lexsort((j, i))[0])
+        return int(free[i[sel]]), int(free[j[sel]])
     cross = 2.0 * np.real(np.conj(dlt)[:, None] * dlt[None, :])
     pair_gains = g[:, None] + g[None, :] - cross * overlap[np.ix_(free, free)]
     pair_gains[_tril_indices(free.size)] = _NEG_INF
@@ -150,6 +301,32 @@ class BitFlipDecoder:
         self._overlap = self.d.T.astype(int) @ self.d.astype(int)
         shared = self._overlap > 0
         self._nofn: List[np.ndarray] = [np.flatnonzero(shared[i]) for i in range(self.k)]
+        self._pair_cap_cache: Optional[np.ndarray] = None
+        self._cross_mag_cache: Optional[np.ndarray] = None
+        self._co_cache: Optional[np.ndarray] = None
+
+    @property
+    def _cross_mag(self) -> np.ndarray:
+        """Exact pair cross-term magnitudes, built on demand."""
+        if self._cross_mag_cache is None:
+            self._cross_mag_cache = cross_magnitudes(self.h)
+        return self._cross_mag_cache
+
+    @property
+    def _co(self) -> np.ndarray:
+        """``cross_mag * overlap`` — the pair scan's shared bound matrix."""
+        if self._co_cache is None:
+            self._co_cache = self._cross_mag * self._overlap
+        return self._co_cache
+
+    @property
+    def _pair_cap(self) -> np.ndarray:
+        """Cross-term caps for the pair scan's O(K) skip, built on demand."""
+        if self._pair_cap_cache is None:
+            self._pair_cap_cache = pair_cross_caps(
+                self._overlap, self.h, cross_mag=self._cross_mag
+            )
+        return self._pair_cap_cache
 
     # ---- gain machinery -------------------------------------------------------
     def _all_gains(
@@ -194,7 +371,10 @@ class BitFlipDecoder:
         gains and slot-overlap counts.
         """
         delta = self.h * (1.0 - 2.0 * bits.astype(float))
-        return best_pair_flip(gains, delta, self._overlap, frozen)
+        return best_pair_flip(
+            gains, delta, self._overlap, frozen,
+            cap=self._pair_cap, cross_mag=self._cross_mag, co=self._co,
+        )
 
     # ---- decoding -------------------------------------------------------------
     def decode(
@@ -305,9 +485,16 @@ class BitFlipDecoder:
             if best.residual_norm <= _RESIDUAL_EXACT:
                 break
             trial_init = (rng.random(self.k) < 0.5).astype(np.uint8)
-            if init is not None and frozen is not None:
-                # Random restart must not disturb CRC-frozen values.
-                trial_init[frozen] = np.asarray(init, dtype=np.uint8)[frozen]
+            if init is not None:
+                # Random restart must not disturb CRC-frozen values, nor
+                # zero-weight nodes: a node with no slots yet has zero gain
+                # everywhere, so a restart would hand it unconstrained
+                # random bits whose only observable effect is to make an
+                # equal-norm trial adoption (a float-rounding tie) visible.
+                pinned = self._weights == 0
+                if frozen is not None:
+                    pinned = pinned | np.asarray(frozen, dtype=bool)
+                trial_init[pinned] = np.asarray(init, dtype=np.uint8)[pinned]
             trial = self.decode(y, init=trial_init, frozen=frozen, rng=rng)
             if trial.residual_norm < best.residual_norm:
                 best = trial
@@ -329,12 +516,24 @@ class BatchedDecodeOutcome:
         ``(M,)`` — False where the flip-budget safety valve tripped.
     residual_norms:
         ``(M,)`` per-position ``‖D(h∘b̂_m) − y_m‖₂`` at termination.
+    residual:
+        ``(L, M)`` final residual matrix when the kernel produced one (all
+        batched kernels do) — consumed by the incremental decoder state to
+        splice restart winners without recomputing ``y − D(h∘b̂)``.
+    corr_re / corr_im:
+        ``(K, M)`` split final correlations ``Dᵀ·conj(residual)`` — only
+        from kernels that maintain them (the packed family); ``None``
+        elsewhere, in which case a state splice invalidates its cached
+        correlations instead.
     """
 
     bits: np.ndarray
     flips: np.ndarray
     converged: np.ndarray
     residual_norms: np.ndarray
+    residual: Optional[np.ndarray] = None
+    corr_re: Optional[np.ndarray] = None
+    corr_im: Optional[np.ndarray] = None
 
 
 class BatchedBitFlipDecoder:
@@ -372,6 +571,16 @@ class BatchedBitFlipDecoder:
         Safety bound on flips per position per decode call.
     """
 
+    #: This kernel can run from a persistent :class:`~repro.core.
+    #: decoder_state.DecoderState` (see :meth:`from_state`). Third-party
+    #: kernels without the hook make the rateless loop fall back to its
+    #: rebuild path.
+    SUPPORTS_STATE = True
+
+    #: Bound :class:`~repro.core.decoder_state.DecoderState` when built via
+    #: :meth:`from_state`; ``None`` for from-scratch construction.
+    _state = None
+
     def __init__(self, d_matrix: np.ndarray, channels: Sequence[complex], max_flips: int = 10_000):
         self.d = np.atleast_2d(np.asarray(d_matrix, dtype=np.uint8))
         self.h = np.asarray(channels, dtype=complex).ravel()
@@ -387,6 +596,42 @@ class BatchedBitFlipDecoder:
         self._dT = np.ascontiguousarray(self._d_f.T)
         self._weights = self.d.sum(axis=0).astype(float)
         self._overlap_cache: Optional[np.ndarray] = None
+        self._pair_cap_cache: Optional[np.ndarray] = None
+        self._cross_mag_cache: Optional[np.ndarray] = None
+        self._co_cache: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_state(cls, state, max_flips: int = 10_000):
+        """Bind a kernel to a persistent decoder state — no setup gemms.
+
+        Where :meth:`__init__` stacks and derives every operand (signal
+        matrix, float D, weights — and lazily the (K, K) overlap), this
+        constructor points the kernel at the live views the state already
+        maintains: O(1) plus a transpose view. The kernel then decodes the
+        *peeled active* problem (``state.k_active`` columns, frozen
+        contributions already subtracted from ``state.y``), so no
+        ``frozen`` mask is needed. Kernels built this way additionally
+        expose :meth:`decode_best_of_state`, which runs the restart
+        protocol directly on (and back into) the state.
+        """
+        ensure_positive_int(max_flips, "max_flips")
+        self = cls.__new__(cls)
+        self.max_flips = max_flips
+        self._state = state
+        self.d = state.d
+        self.h = state.h
+        self.n_slots, self.k = self.d.shape
+        self._signal = state.signal
+        self._d_f = state.d_f
+        # A transpose view: gemms accept either layout, and copying to
+        # C-order would re-pay an (L, K) pass per kernel construction.
+        self._dT = self._d_f.T
+        self._weights = state.weights
+        self._overlap_cache = state.overlap
+        self._pair_cap_cache = state.pair_cap
+        self._cross_mag_cache = state.cross_mag
+        self._co_cache = None
+        return self
 
     @property
     def _overlap(self) -> np.ndarray:
@@ -401,6 +646,47 @@ class BatchedBitFlipDecoder:
             self._overlap_cache = self._dT @ self._d_f
         return self._overlap_cache
 
+    @property
+    def _cross_mag(self) -> np.ndarray:
+        """Exact pair cross-term magnitudes (:func:`cross_magnitudes`).
+
+        From-scratch kernels build them on the first stall; state-bound
+        kernels share the matrix the state keeps per channel vector.
+        """
+        if self._cross_mag_cache is None:
+            self._cross_mag_cache = cross_magnitudes(self.h)
+        return self._cross_mag_cache
+
+    @property
+    def _pair_cap(self) -> np.ndarray:
+        """Cross-term caps for the pair scan's O(K) skip.
+
+        From-scratch kernels derive them from the (lazily built) overlap
+        on the first stall; state-bound kernels share the caps the
+        :class:`~repro.core.decoder_state.DecoderState` maintains
+        incrementally alongside the overlap.
+        """
+        if self._pair_cap_cache is None:
+            self._pair_cap_cache = pair_cross_caps(
+                self._overlap, self.h, cross_mag=self._cross_mag
+            )
+        return self._pair_cap_cache
+
+    @property
+    def _co(self) -> np.ndarray:
+        """``cross_mag * overlap`` — the pair scan's shared bound matrix.
+
+        One K×K multiply per kernel instance, amortised over every wide
+        pair scan of the decode call (each then pays a single row gather
+        plus two adds instead of two gathers and a multiply). Always
+        rebuilt locally — state-bound kernels derive it from the shared
+        overlap on first use, so it is exactly the elementwise product
+        the sparse verification stage compares against.
+        """
+        if self._co_cache is None:
+            self._co_cache = self._cross_mag * self._overlap
+        return self._co_cache
+
     # ---- pair-flip escape -----------------------------------------------------
     def _best_pair_flip(
         self, gains: np.ndarray, delta: np.ndarray, frozen: np.ndarray
@@ -408,9 +694,12 @@ class BatchedBitFlipDecoder:
         """Closed-form joint two-bit scan for one stalled column.
 
         Delegates to the shared :func:`best_pair_flip` with this kernel's
-        cached slot-overlap matrix.
+        cached slot-overlap matrix and cross-term caps.
         """
-        return best_pair_flip(gains, delta, self._overlap, frozen)
+        return best_pair_flip(
+            gains, delta, self._overlap, frozen,
+            cap=self._pair_cap, cross_mag=self._cross_mag, co=self._co,
+        )
 
     # ---- decoding -------------------------------------------------------------
     def decode(
@@ -453,9 +742,40 @@ class BatchedBitFlipDecoder:
         if m == 0:
             return BatchedDecodeOutcome(
                 bits=bits, flips=flips, converged=active.copy(),
-                residual_norms=np.zeros(0),
+                residual_norms=np.zeros(0), residual=residual,
             )
 
+        self._flip_rounds(residual, bits, frozen_mask, flips, active)
+
+        norms = np.sqrt(np.sum(np.abs(residual) ** 2, axis=0))
+        return BatchedDecodeOutcome(
+            bits=bits,
+            flips=flips,
+            converged=flips < self.max_flips,
+            residual_norms=norms,
+            residual=residual,
+        )
+
+    def _flip_rounds(
+        self,
+        residual: np.ndarray,
+        bits: np.ndarray,
+        frozen_mask: np.ndarray,
+        flips: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        """Flip every active column to its local optimum, in place.
+
+        The body of :meth:`decode` after setup — factored out so the
+        state-backed warm start (:meth:`_decode_warm_state`) can drive the
+        identical round loop over the persistent residual and bit matrix.
+        """
+        if self.k == 0:
+            # A fully-peeled problem: nothing can flip, every column
+            # retires converged with zero flips (what the full-width loop
+            # does when every bit is frozen, minus the -inf gain pass).
+            active[:] = False
+            return
         while True:
             # The per-position loop checks the flip budget *before* looking
             # at gains, so a column at its budget retires unconverged here
@@ -463,7 +783,7 @@ class BatchedBitFlipDecoder:
             active &= flips < self.max_flips
             cols = np.flatnonzero(active)
             if cols.size == 0:
-                break
+                return
             sub_bits = bits[:, cols].astype(float)
             delta = self.h[:, None] * (1.0 - 2.0 * sub_bits)  # (K, m_act)
             corr = self._dT @ np.conj(residual[:, cols])  # the one matmul
@@ -474,18 +794,29 @@ class BatchedBitFlipDecoder:
             flippable = np.isfinite(best_gain) & (best_gain > _GAIN_TOL)
 
             # Stalled columns: scan joint pair flips (the near-degenerate
-            # channel escape) before freezing the column.
-            for j in np.flatnonzero(~flippable):
-                col = int(cols[j])
-                pair = self._best_pair_flip(gains[:, j], delta[:, j], frozen_mask)
-                if pair is None:
-                    active[col] = False
-                    continue
-                for idx in pair:
-                    d_col = self.h[idx] * (1.0 - 2.0 * float(bits[idx, col]))
-                    residual[self.d[:, idx].astype(bool), col] -= d_col
-                    bits[idx, col] ^= 1
-                flips[col] += 1
+            # channel escape) before freezing the column. One vectorized
+            # pre-filter retires the provably fruitless columns first — a
+            # pair's gain is at most top1(G) + max(G + cap), so columns
+            # where that bound is ≤ 0 cannot clear the tolerance and skip
+            # the per-column scan entirely (the common case: a converged
+            # column re-proves its stall on every decode call).
+            stalled = np.flatnonzero(~flippable)
+            if stalled.size:
+                gs = gains[:, stalled]
+                cap = self._pair_cap
+                viable = (gs.max(axis=0) + (gs + cap[:, None]).max(axis=0)) > 0.0
+                active[cols[stalled[~viable]]] = False
+                for j in stalled[np.flatnonzero(viable)]:
+                    col = int(cols[j])
+                    pair = self._best_pair_flip(gains[:, j], delta[:, j], frozen_mask)
+                    if pair is None:
+                        active[col] = False
+                        continue
+                    for idx in pair:
+                        d_col = self.h[idx] * (1.0 - 2.0 * float(bits[idx, col]))
+                        residual[self.d[:, idx].astype(bool), col] -= d_col
+                        bits[idx, col] ^= 1
+                    flips[col] += 1
 
             # Batched single flips: every still-flippable column flips its
             # argmax bit; the residual update is one fancy-indexed subtract.
@@ -497,14 +828,6 @@ class BatchedBitFlipDecoder:
                 residual[:, fcols] -= self._d_f[:, fbits] * fdelta[None, :]
                 bits[fbits, fcols] ^= 1
                 flips[fcols] += 1
-
-        norms = np.sqrt(np.sum(np.abs(residual) ** 2, axis=0))
-        return BatchedDecodeOutcome(
-            bits=bits,
-            flips=flips,
-            converged=flips < self.max_flips,
-            residual_norms=norms,
-        )
 
     def decode_best_of(
         self,
@@ -548,7 +871,12 @@ class BatchedBitFlipDecoder:
             draws.transpose(2, 0, 1).reshape(self.k, need.size * n_restarts)
         ).astype(np.uint8)
         trial_cols = np.repeat(need, n_restarts)
-        trial_init[frozen_mask, :] = init[np.ix_(frozen_mask, trial_cols)]
+        # Frozen values must survive the restart; so must zero-weight
+        # nodes' bits — with no slots collected they have zero gain in
+        # every position, and randomizing them only makes an equal-norm
+        # trial adoption (a float-rounding tie) change visible output.
+        pinned = frozen_mask | (self._weights == 0)
+        trial_init[pinned, :] = init[np.ix_(pinned, trial_cols)]
         trials = self.decode(ys[:, trial_cols], init=trial_init, frozen=frozen_mask)
         trial_norms = trials.residual_norms.reshape(need.size, n_restarts)
 
@@ -593,13 +921,14 @@ class BatchedBitFlipDecoder:
     ) -> BatchedDecodeOutcome:
         """Exact replay of the per-position restart loop (rare path)."""
         best = warm
+        pinned = frozen_mask | (self._weights == 0)
         for m in range(ys.shape[1]):
             best_norm = best.residual_norms[m]
             for _ in range(n_restarts):
                 if best_norm <= _RESIDUAL_EXACT:
                     break
                 trial_init = (rng.random(self.k) < 0.5).astype(np.uint8)
-                trial_init[frozen_mask] = init[frozen_mask, m]
+                trial_init[pinned] = init[pinned, m]
                 trial = self.decode(
                     ys[:, m : m + 1], init=trial_init[:, None], frozen=frozen_mask
                 )
@@ -610,6 +939,123 @@ class BatchedBitFlipDecoder:
                     best.converged[m] = trial.converged[0]
                     best.residual_norms[m] = trial.residual_norms[0]
         return best
+
+    # ---- state-backed decoding --------------------------------------------------
+    def _decode_warm_state(self) -> BatchedDecodeOutcome:
+        """Warm decode straight on the persistent state, in place.
+
+        The state's residual and bit matrix already sit at the previous
+        round's local optimum plus the rank-(new rows) extensions, so this
+        is :meth:`decode` minus every setup step: no stacking, no initial
+        residual gemm — the round loop picks up exactly where the last
+        call left off. Mutating the residual without touching the cached
+        correlations invalidates them (the packed override maintains them
+        instead).
+        """
+        state = self._state
+        m = state.m
+        residual = state.residual
+        flips = np.zeros(m, dtype=int)
+        active = np.ones(m, dtype=bool)
+        frozen_mask = np.zeros(self.k, dtype=bool)
+        self._flip_rounds(residual, state.bits, frozen_mask, flips, active)
+        state.corr_valid = False
+        norms = np.sqrt(np.sum(np.abs(residual) ** 2, axis=0))
+        state.last_norms = norms
+        return BatchedDecodeOutcome(
+            bits=state.bits,
+            flips=flips,
+            converged=flips < self.max_flips,
+            residual_norms=norms,
+            residual=residual,
+        )
+
+    def decode_best_of_state(self, restarts: int, rng: np.random.Generator) -> BatchedDecodeOutcome:
+        """The restart protocol of :meth:`decode_best_of`, on the state.
+
+        Byte-compatible RNG consumption with the rebuild path: restart
+        inits are still drawn over the *full* population
+        (``rng.random((need, R, K_full))``) and sliced to the active set —
+        a frozen node's draw is discarded here exactly as the rebuild path
+        overwrites it with the frozen value, so both paths leave the
+        generator in the same state and all later draws line up. Winning
+        trials are spliced back into the state (bits, residual and — when
+        the kernel carries them — correlations), keeping it warm for the
+        next round. Requires a kernel built by :meth:`from_state`.
+        """
+        state = self._state
+        if state is None:
+            raise ValueError("decode_best_of_state requires a from_state kernel")
+        warm = self._decode_warm_state()
+        n_restarts = max(0, restarts)
+        if n_restarts == 0:
+            return warm
+        need = np.flatnonzero(warm.residual_norms > _RESIDUAL_EXACT)
+        if need.size == 0:
+            return warm
+
+        gen_state = rng.bit_generator.state
+        draws = rng.random((need.size, n_restarts, state.k_full)) < 0.5
+        full_init = (
+            draws.transpose(2, 0, 1).reshape(state.k_full, need.size * n_restarts)
+        ).astype(np.uint8)
+        trial_init = full_init[state.active_idx]
+        trial_cols = np.repeat(need, n_restarts)
+        # Same zero-weight pinning as the rebuild path (frozen nodes are
+        # already outside the active set here).
+        pinned = state.weights == 0
+        trial_init[pinned, :] = state.bits[np.ix_(pinned, trial_cols)]
+        trials = self.decode(state.y[:, trial_cols], init=trial_init)
+        trial_norms = trials.residual_norms.reshape(need.size, n_restarts)
+
+        # Same optimistic-draw validation as the rebuild path: an exact
+        # residual mid-restarts would have stopped that position's draws.
+        running = np.minimum.accumulate(
+            np.column_stack([warm.residual_norms[need], trial_norms]), axis=1
+        )
+        if np.any(running[:, 1:-1] <= _RESIDUAL_EXACT):
+            rng.bit_generator.state = gen_state
+            return self._decode_best_of_sequential_state(n_restarts, rng, warm)
+
+        for row, m in enumerate(need):
+            best_norm = warm.residual_norms[m]
+            winner = -1
+            for r in range(n_restarts):
+                if trial_norms[row, r] < best_norm:
+                    best_norm = trial_norms[row, r]
+                    winner = r
+            if winner >= 0:
+                t = row * n_restarts + winner
+                state.adopt_trial_column(int(m), trials, t)
+                warm.flips[m] = trials.flips[t]
+                warm.converged[m] = trials.converged[t]
+                warm.residual_norms[m] = trials.residual_norms[t]
+        state.last_norms = warm.residual_norms
+        return warm
+
+    def _decode_best_of_sequential_state(
+        self, n_restarts: int, rng: np.random.Generator, warm: BatchedDecodeOutcome
+    ) -> BatchedDecodeOutcome:
+        """Exact replay of the per-position restart loop, on the state."""
+        state = self._state
+        pinned = state.weights == 0
+        for m in range(state.m):
+            best_norm = warm.residual_norms[m]
+            for _ in range(n_restarts):
+                if best_norm <= _RESIDUAL_EXACT:
+                    break
+                full_init = (rng.random(state.k_full) < 0.5).astype(np.uint8)
+                trial_init = full_init[state.active_idx]
+                trial_init[pinned] = state.bits[pinned, m]
+                trial = self.decode(state.y[:, m : m + 1], init=trial_init[:, None])
+                if trial.residual_norms[0] < best_norm:
+                    best_norm = trial.residual_norms[0]
+                    state.adopt_trial_column(m, trial, 0)
+                    warm.flips[m] = trial.flips[0]
+                    warm.converged[m] = trial.converged[0]
+                    warm.residual_norms[m] = trial.residual_norms[0]
+        state.last_norms = warm.residual_norms
+        return warm
 
 
 class PackedBitFlipDecoder(BatchedBitFlipDecoder):
@@ -658,6 +1104,22 @@ class PackedBitFlipDecoder(BatchedBitFlipDecoder):
 
         self._weights = popcount(self._d_packed).sum(axis=1, dtype=np.int64).astype(float)
         self._wh2 = self._weights * np.abs(self.h) ** 2
+
+    @classmethod
+    def from_state(cls, state, max_flips: int = 10_000):
+        """Bind the packed kernel to a persistent decoder state.
+
+        On top of the base binding, points the fused gain pass at the
+        state's precomputed split channels. ``_d_packed`` only feeds the
+        weight popcount in :meth:`__init__`, and the state carries exact
+        weights already, so it is not materialised here.
+        """
+        self = super().from_state(state, max_flips=max_flips)
+        self._hr = state.hr
+        self._hi = state.hi
+        self._d_packed = None
+        self._wh2 = state.weights * state.abs_h2
+        return self
 
     # ---- decoding -------------------------------------------------------------
     def decode(
@@ -713,6 +1175,50 @@ class PackedBitFlipDecoder(BatchedBitFlipDecoder):
             flips=flips,
             converged=flips < self.max_flips,
             residual_norms=norms,
+            residual=residual,
+            corr_re=corr_re,
+            corr_im=corr_im,
+        )
+
+    # ---- state-backed decoding --------------------------------------------------
+    def _decode_warm_state(self) -> BatchedDecodeOutcome:
+        """Warm decode on the persistent state, correlations included.
+
+        The packed round loop maintains ``corr_re``/``corr_im`` by axpy, so
+        running it directly on the state's correlation matrices keeps them
+        valid across calls — the initial ``Dᵀ·conj(residual)`` gemm of
+        :meth:`decode` is paid only when another kernel (or a splice
+        without correlations) invalidated them. Signs and packed words are
+        derived from the canonical bit matrix per call: both are O(K·M)
+        reshufflings, not gemms.
+        """
+        state = self._state
+        m = state.m
+        residual = state.residual
+        if not state.corr_valid:
+            corr = self._dT @ np.conj(residual)
+            state.corr_re[...] = corr.real
+            state.corr_im[...] = corr.imag
+            state.corr_valid = True
+        packed = pack_rows(state.bits)
+        signs = 1.0 - 2.0 * state.bits.astype(float)
+        flips = np.zeros(m, dtype=np.int64)
+        active = np.ones(m, dtype=bool)
+        frozen_mask = np.zeros(self.k, dtype=bool)
+        self._run_rounds(
+            state.corr_re, state.corr_im, signs, packed, residual, frozen_mask, active, flips
+        )
+        state.bits[...] = unpack_rows(packed, m)
+        norms = np.sqrt(np.sum(np.abs(residual) ** 2, axis=0))
+        state.last_norms = norms
+        return BatchedDecodeOutcome(
+            bits=state.bits,
+            flips=flips,
+            converged=flips < self.max_flips,
+            residual_norms=norms,
+            residual=residual,
+            corr_re=state.corr_re,
+            corr_im=state.corr_im,
         )
 
     # ---- round loop (numpy) ---------------------------------------------------
@@ -730,6 +1236,10 @@ class PackedBitFlipDecoder(BatchedBitFlipDecoder):
         overlap = self._overlap
         one = np.uint64(1)
         k_dim, m_dim = signs.shape
+        if k_dim == 0:
+            # Fully-peeled problem: no bit can flip, every column retires.
+            active[:] = False
+            return
         col_idx = np.arange(m_dim)
         hr = self._hr[:, None]
         hi = self._hi[:, None]
@@ -761,20 +1271,28 @@ class PackedBitFlipDecoder(BatchedBitFlipDecoder):
             best_gain = gains[best, col_idx]
             flippable = active & np.isfinite(best_gain) & (best_gain > _GAIN_TOL)
 
-            for col_i in np.flatnonzero(active & ~flippable):
-                col = int(col_i)
-                pair = self._best_pair_flip(
-                    gains[:, col], self.h * signs[:, col], frozen_mask
-                )
-                if pair is None:
-                    active[col] = False
-                    continue
-                for idx in pair:
-                    self._apply_flip(
-                        corr_re, corr_im, signs, packed, residual, int(idx), col,
-                        overlap, one,
+            # Vectorized fruitless-proof (see BatchedBitFlipDecoder): only
+            # columns whose pair-gain bound clears zero pay a scan call.
+            stalled = np.flatnonzero(active & ~flippable)
+            if stalled.size:
+                gs = gains[:, stalled]
+                cap = self._pair_cap
+                viable = (gs.max(axis=0) + (gs + cap[:, None]).max(axis=0)) > 0.0
+                active[stalled[~viable]] = False
+                for col_i in stalled[np.flatnonzero(viable)]:
+                    col = int(col_i)
+                    pair = self._best_pair_flip(
+                        gains[:, col], self.h * signs[:, col], frozen_mask
                     )
-                flips[col] += 1
+                    if pair is None:
+                        active[col] = False
+                        continue
+                    for idx in pair:
+                        self._apply_flip(
+                            corr_re, corr_im, signs, packed, residual, int(idx), col,
+                            overlap, one,
+                        )
+                    flips[col] += 1
 
             fcols = np.flatnonzero(flippable)
             if fcols.size:
@@ -931,17 +1449,30 @@ class NumbaBitFlipDecoder(PackedBitFlipDecoder):
             )
             if stalled.size == 0:
                 return
+            if self.k == 0:
+                # Fully-peeled problem: nothing can flip (the fused pass
+                # reports every column stalled), every column retires.
+                active[stalled] = False
+                continue
             # Pair-flip escape for the stalled columns, from the same gain
             # snapshot the fused round saw (their columns are untouched).
-            for col_i in stalled:
-                col = int(col_i)
-                base = 2.0 * (
-                    self._hr * corr_re[:, col] - self._hi * corr_im[:, col]
-                )
-                gains = signs[:, col] * base - self._wh2
-                gains[frozen_mask] = _NEG_INF
+            # Gains for the whole stalled batch come back in one
+            # vectorized pass (elementwise-identical to the per-column
+            # expression), and the fruitless-proof bound retires most of
+            # them without a scan call — see PackedBitFlipDecoder.
+            base = 2.0 * (
+                self._hr[:, None] * corr_re[:, stalled]
+                - self._hi[:, None] * corr_im[:, stalled]
+            )
+            gs = signs[:, stalled] * base - self._wh2[:, None]
+            gs[frozen_mask, :] = _NEG_INF
+            cap = self._pair_cap
+            viable = (gs.max(axis=0) + (gs + cap[:, None]).max(axis=0)) > 0.0
+            active[stalled[~viable]] = False
+            for j in np.flatnonzero(viable):
+                col = int(stalled[j])
                 pair = self._best_pair_flip(
-                    gains, self.h * signs[:, col], frozen_mask
+                    gs[:, j], self.h * signs[:, col], frozen_mask
                 )
                 if pair is None:
                     active[col] = False
@@ -977,7 +1508,10 @@ def register_kernel(name: str, cls: type) -> None:
     The class must accept ``(d_matrix, channels, max_flips=...)`` and
     provide ``decode_best_of`` with :class:`BatchedBitFlipDecoder`'s
     signature and draw order — every scheme, session, and campaign backend
-    reaches the kernel through this registry.
+    reaches the kernel through this registry. Kernels that additionally
+    set ``SUPPORTS_STATE`` and implement ``from_state`` /
+    ``decode_best_of_state`` get the rateless loop's incremental-state
+    fast path; kernels without it are served by the rebuild path.
     """
     _KERNELS[str(name).lower()] = cls
 

@@ -67,6 +67,13 @@ class BuzzConfig:
         Extra random initialisations per position per decode call — bit
         flipping is a local search and restarts shake off local minima in
         dense collisions.
+    bp_verify_rounds:
+        Bound on the BP + CRC-verify fixpoint iterations per
+        :meth:`~repro.core.rateless.RatelessDecoder.try_decode` call: each
+        freeze pins bits that may unlock further flips and freezes (the
+        paper's ripple effect within one slot arrival). The loop exits
+        early the moment a verify pass freezes nothing new, so the bound
+        only matters on long ripple chains.
     """
 
     slots_per_step: int = 4
@@ -84,6 +91,7 @@ class BuzzConfig:
     max_data_slots_factor: float = 25.0
     bp_max_flips: int = 10_000
     bp_restarts: int = 4
+    bp_verify_rounds: int = 4
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.slots_per_step, "slots_per_step")
@@ -103,6 +111,7 @@ class BuzzConfig:
         ensure_positive_int(self.bp_max_flips, "bp_max_flips")
         if self.bp_restarts < 0:
             raise ValueError("bp_restarts must be >= 0")
+        ensure_positive_int(self.bp_verify_rounds, "bp_verify_rounds")
 
     # ---- derived parameters ---------------------------------------------------
     def a(self, k_hat: int) -> int:

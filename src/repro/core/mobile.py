@@ -116,6 +116,22 @@ def run_mobile_data_segment(
     newly verified message before giving up on the current view
     (``None`` disables the monitor). ``silencing`` adds the §8.2 per-ACK
     downlink cost and drops ACKed tags from later slots.
+
+    Two deliberate departures from the static driver's fast paths:
+
+    * Each segment constructs a **fresh** :class:`RatelessDecoder`, which
+      is exactly how an adaptive re-identification splice invalidates the
+      persistent incremental decode state — the refreshed view (seeds,
+      channel estimates) gets a clean :class:`~repro.core.decoder_state.
+      DecoderState` rather than a stale one patched in place. Within a
+      segment the view is constant, so the decoder's incremental path
+      stays valid for every slot the segment collects.
+    * The PHY loop stays per-slot: ``trajectory.channels_at(now)`` is
+      evaluated at each slot's airtime, and ``now`` includes the
+      accumulated silencing-ACK overhead, which is only known after the
+      previous slots' decodes — a block receive would have to guess
+      future ACKs. The static drivers, whose channels are constant, use
+      the batched ``observe_block`` receive instead.
     """
     k = len(tags)
     if k == 0:

@@ -18,6 +18,7 @@ population through the PHY for end-to-end experiments.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -27,11 +28,34 @@ from repro.coding.crc import CRC5_GEN2, CrcSpec, crc_check_matrix
 from repro.coding.prng import slot_decision_matrix
 from repro.core.bp_decoder import resolve_kernel
 from repro.core.config import BuzzConfig
+from repro.core.decoder_state import DecoderState
 from repro.gen2.timing import GEN2_DEFAULT_TIMING, LinkTiming
 from repro.nodes.reader import ReaderFrontEnd
 from repro.nodes.tag import SALT_DATA, BackscatterTag
 
-__all__ = ["RatelessDecoder", "DecodeProgress", "RatelessRunResult", "run_rateless_uplink"]
+__all__ = [
+    "RatelessDecoder",
+    "DecodeProgress",
+    "RatelessRunResult",
+    "run_rateless_uplink",
+    "STATE_ENV_VAR",
+]
+
+#: Environment variable selecting the decoder's cross-round state strategy:
+#: ``incremental`` (default — persistent DecoderState with rank-k updates
+#: and frozen-column peeling) or ``rebuild`` (reconstruct the problem from
+#: the stored rows on every try_decode call; the reference path the
+#: equivalence suites compare against).
+STATE_ENV_VAR = "REPRO_DECODER_STATE"
+
+
+def _incremental_default() -> bool:
+    value = os.environ.get(STATE_ENV_VAR, "").strip().lower() or "incremental"
+    if value not in ("incremental", "rebuild"):
+        raise ValueError(
+            f"{STATE_ENV_VAR} must be 'incremental' or 'rebuild', got {value!r}"
+        )
+    return value == "incremental"
 
 
 @dataclass(frozen=True)
@@ -65,6 +89,16 @@ class RatelessDecoder:
         decoder then only reports its best estimate).
     noise_std:
         Complex noise std of the link — gates message verification (below).
+    incremental:
+        Keep a persistent :class:`~repro.core.decoder_state.DecoderState`
+        across decode calls (rank-(new rows) extension per slot, frozen-
+        column peeling per verify) instead of rebuilding the problem from
+        the stored rows each call. Defaults to the ``REPRO_DECODER_STATE``
+        environment variable (``incremental`` unless set to ``rebuild``).
+        Both paths produce identical decoded masks, messages, and
+        :class:`DecodeProgress` traces up to exact float ties — pinned by
+        the incremental-equivalence suite; the incremental path is the
+        session-level fast path gated in ``BENCH_session.json``.
 
     **Verification rule.** A 5-bit CRC alone false-positives on ~3 % of
     garbage decodes, and a frozen-wrong message poisons every later decode,
@@ -104,6 +138,7 @@ class RatelessDecoder:
         config: BuzzConfig = BuzzConfig(),
         rng: Optional[np.random.Generator] = None,
         noise_std: float = 0.0,
+        incremental: Optional[bool] = None,
     ):
         self.seeds = [int(s) for s in seeds]
         self.h = np.asarray(channels, dtype=complex).ravel()
@@ -117,19 +152,30 @@ class RatelessDecoder:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.noise_std = float(noise_std)
 
-        self._rows: List[np.ndarray] = []  # regenerated D rows
-        self._symbols: List[np.ndarray] = []  # received (P,) rows of Y
+        # Collected slots live in amortized-growth preallocated buffers
+        # (doubling on overflow): try_decode slices them instead of
+        # stacking a growing Python list, and add_slot's row/symbol writes
+        # are copies into append-only storage — callers can mutate what
+        # they passed in without corrupting decoder state.
+        cap = max(self.ROW_BLOCK, 1)
+        self._row_buf = np.zeros((cap, self.k), dtype=np.uint8)
+        self._sym_buf = np.zeros((cap, self.p), dtype=complex)
+        self._n_rows = 0
         self._row_block = np.zeros((0, self.k), dtype=np.uint8)  # D-row cache
         self._row_block_start = 0
         self._estimates = (self.rng.random((self.k, self.p)) < 0.5).astype(np.uint8)
         self._decoded = np.zeros(self.k, dtype=bool)
         self.progress: List[DecodeProgress] = []
         self._bp_restarts = config.bp_restarts
+        self._incremental = _incremental_default() if incremental is None else bool(incremental)
+        self._state: Optional[DecoderState] = (
+            DecoderState(self.h, self._estimates) if self._incremental else None
+        )
 
     # ---- protocol-side queries -------------------------------------------------
     @property
     def slots_collected(self) -> int:
-        return len(self._rows)
+        return self._n_rows
 
     @property
     def decoded_mask(self) -> np.ndarray:
@@ -182,22 +228,53 @@ class RatelessDecoder:
             row = np.asarray(row, dtype=np.uint8).ravel()
             if row.size != self.k:
                 raise ValueError(f"expected a D row of length {self.k}, got {row.size}")
-        self._rows.append(row)
-        self._symbols.append(symbols)
+        self._ensure_capacity(self._n_rows + 1)
+        j = self._n_rows
+        self._row_buf[j] = row  # assignment copies — the buffer is append-only
+        self._sym_buf[j] = symbols
+        self._n_rows = j + 1
+        if self._state is not None:
+            # Peel the frozen transmitters out of the new symbols before the
+            # state ingests them: the active problem never sees frozen
+            # contributions (they live on the symbol side, exactly as
+            # DecoderState.peel leaves older rows).
+            frozen_tx = np.flatnonzero((row != 0) & self._decoded)
+            if frozen_tx.size:
+                symbols = symbols - (
+                    self.h[frozen_tx, None] * self._estimates[frozen_tx].astype(float)
+                ).sum(axis=0)
+            self._state.append_slot(row, symbols)
+
+    def _ensure_capacity(self, n: int) -> None:
+        cap = self._row_buf.shape[0]
+        if n <= cap:
+            return
+        new_cap = max(int(n), 2 * cap)
+        row_buf = np.zeros((new_cap, self.k), dtype=np.uint8)
+        row_buf[: self._n_rows] = self._row_buf[: self._n_rows]
+        self._row_buf = row_buf
+        sym_buf = np.zeros((new_cap, self.p), dtype=complex)
+        sym_buf[: self._n_rows] = self._sym_buf[: self._n_rows]
+        self._sym_buf = sym_buf
 
     #: Slots regenerated per batched D-row refill; drivers that batch their
     #: own tag-side draws (the plain and silencing loops) reuse this size.
     ROW_BLOCK = 64
 
     def _regenerated_row(self, index: int) -> np.ndarray:
-        """D row for ``index``, served from a block-regenerated cache."""
+        """D row for ``index``, served from a block-regenerated cache.
+
+        Returns a read-only view into the cache block: :meth:`add_slot`
+        copies rows into its append-only buffer, so the former per-row
+        defensive ``.copy()`` would only be paid for, never observed.
+        """
         offset = index - self._row_block_start
         if not 0 <= offset < self._row_block.shape[0]:
             self.prime_row_cache(
                 index, self.expected_rows(range(index, index + self.ROW_BLOCK))
             )
             offset = 0
-        return self._row_block[offset].copy()
+        return self._row_block[offset]
 
     def prime_row_cache(self, start: int, rows: np.ndarray) -> None:
         """Install a pre-regenerated block of D rows for ``start, start+1, …``.
@@ -223,20 +300,38 @@ class RatelessDecoder:
         mobility, silencing, and every campaign backend inherit the
         fastest bit-identical implementation available.
         """
-        if not self._rows:
+        if not self._n_rows:
             snapshot = DecodeProgress(slot=0, newly_decoded=0, total_decoded=0)
             self.progress.append(snapshot)
             return snapshot
-        d = np.stack(self._rows)
-        y = np.stack(self._symbols)  # (L, P)
         kernel_cls = resolve_kernel()
+        if self._state is not None and not getattr(kernel_cls, "SUPPORTS_STATE", False):
+            # A registered kernel without the state hook: fall back to the
+            # rebuild path for the rest of the session (the state would go
+            # stale the moment a decode bypassed it).
+            self._state = None
+        before = int(self._decoded.sum())
+        if self._state is not None:
+            self._try_decode_state(kernel_cls)
+        else:
+            self._try_decode_rebuild(kernel_cls)
+        newly = int(self._decoded.sum()) - before
+        snapshot = DecodeProgress(
+            slot=self.slots_collected, newly_decoded=newly, total_decoded=int(self._decoded.sum())
+        )
+        self.progress.append(snapshot)
+        return snapshot
+
+    def _try_decode_rebuild(self, kernel_cls: type) -> None:
+        """Reference path: rebuild the full-width problem from the buffers."""
+        d = self._row_buf[: self._n_rows]
+        y = self._sym_buf[: self._n_rows]  # (L, P)
         kernel = kernel_cls(d, self.h, max_flips=self.config.bp_max_flips)
 
         # BP + verify to a fixpoint: each freeze pins bits that may unlock
         # further flips and further freezes — the paper's ripple effect,
         # realised within a single slot arrival.
-        before = int(self._decoded.sum())
-        for _ in range(4):
+        for _ in range(self.config.bp_verify_rounds):
             outcome = kernel.decode_best_of(
                 y,
                 restarts=self._bp_restarts,
@@ -251,12 +346,28 @@ class RatelessDecoder:
             self._verify_and_freeze(d, y)
             if int(self._decoded.sum()) == frozen_before_pass or self.all_decoded:
                 break
-        newly = int(self._decoded.sum()) - before
-        snapshot = DecodeProgress(
-            slot=self.slots_collected, newly_decoded=newly, total_decoded=int(self._decoded.sum())
-        )
-        self.progress.append(snapshot)
-        return snapshot
+
+    def _try_decode_state(self, kernel_cls: type) -> None:
+        """Fast path: decode the peeled active problem from persistent state.
+
+        Same BP + verify fixpoint as the rebuild path, but each round binds
+        the kernel to the live state (O(1) — no stacking, no setup gemms)
+        and decodes the shrinking ``(L, K_active)`` problem. A fresh
+        binding per round is required because a verify pass that freezes
+        nodes compacts the state's arrays under the previous kernel's
+        views.
+        """
+        state = self._state
+        for _ in range(self.config.bp_verify_rounds):
+            kernel = kernel_cls.from_state(state, max_flips=self.config.bp_max_flips)
+            kernel.decode_best_of_state(restarts=self._bp_restarts, rng=self.rng)
+            self._estimates[state.active_idx] = state.bits
+            if self.crc is None:
+                break
+            frozen_before_pass = int(self._decoded.sum())
+            self._verify_and_freeze_state()
+            if int(self._decoded.sum()) == frozen_before_pass or self.all_decoded:
+                break
 
     def _verify_and_freeze(self, d: np.ndarray, y: np.ndarray) -> None:
         """Apply the corroborated-CRC verification rule (class docstring)."""
@@ -301,6 +412,94 @@ class RatelessDecoder:
                 np.all(self._decoded[others] | passes[others])
             ) and self._node_margin_ok(node, row, participants):
                 self._decoded[node] = True
+
+    def _verify_and_freeze_state(self) -> None:
+        """The corroborated-CRC rule, evaluated on the peeled active problem.
+
+        Mirrors :meth:`_verify_and_freeze` decision for decision: weights
+        and pairwise overlaps come from the state's exact integer-valued
+        accumulations, the residual from its live (already frozen-free)
+        matrix instead of a fresh ``(L, K)·(K, P)`` gemm, and the node scan
+        walks the active set in ascending original order — the same order
+        (minus the frozen skips) as the full-width loop, so the live
+        ``self._decoded[others]`` reads agree. Nodes frozen by this pass
+        are peeled out of the state in one batch afterwards.
+        """
+        state = self._state
+        if state.k_active == 0:
+            return
+        act = state.active_idx
+        weights = state.weights  # exact |d_i| counts (float-held integers)
+        residual = state.residual
+        row_power = np.mean(np.abs(residual) ** 2, axis=1)
+        row_ok = row_power <= max(4.0 * self.noise_std**2, 1e-12)
+
+        passes = np.zeros(self.k, dtype=bool)
+        cand = weights > 0  # every active node is unfrozen by construction
+        if cand.any():
+            passes[act[cand]] = crc_check_matrix(self._estimates[act[cand]], self.crc)
+
+        entangled = self._entangled_mask_state()
+
+        newly: List[int] = []
+        for pos in range(act.size):
+            node = int(act[pos])
+            if not passes[node] or entangled[pos]:
+                continue
+            required = 2 if abs(self.h[node]) >= 5.0 * self.noise_std else 3
+            if weights[pos] >= required:
+                self._decoded[node] = True
+                newly.append(pos)
+                continue
+            rows = np.flatnonzero(state.d[:, pos])
+            if not bool(np.all(row_ok[rows])):
+                continue
+            row = int(rows[0])
+            participants = np.flatnonzero(self._row_buf[row])
+            others = participants[participants != node]
+            if bool(
+                np.all(self._decoded[others] | passes[others])
+            ) and self._node_margin_ok(node, row, participants):
+                self._decoded[node] = True
+                newly.append(pos)
+        if newly:
+            state.peel(np.asarray(newly, dtype=np.int64))
+
+    def _entangled_mask_state(self) -> np.ndarray:
+        """:meth:`_entangled_mask` on the active set (same rule, no gemm).
+
+        The full-width version's candidate set ``~decoded & weights > 0``
+        is, on the peeled problem, simply the active positions with
+        nonzero weight; the pairwise slot-overlap counts are a slice of
+        the state's exact DᵀD instead of a fresh ``(n, n)`` matmul.
+        """
+        state = self._state
+        mask = np.zeros(state.k_active, dtype=bool)
+        sel = np.flatnonzero(state.weights > 0)
+        if sel.size < 2:
+            return mask
+        h = state.h[sel]
+        absh = np.abs(h)
+        threshold = 4.0 * self.noise_std
+        noise_power = max(self.noise_std**2, 1e-18)
+        degenerate = np.minimum(
+            np.abs(h[:, None] + h[None, :]), np.abs(h[:, None] - h[None, :])
+        )
+        candidate = (degenerate < threshold) & (
+            degenerate < 0.5 * np.minimum(absh[:, None], absh[None, :])
+        )
+        np.fill_diagonal(candidate, False)
+        if not candidate.any():
+            return mask
+        shared = state.overlap[np.ix_(sel, sel)]  # exact |d_i ∩ d_j| per pair
+        w = state.weights[sel]
+        only_i = w[:, None] - shared
+        only_j = w[None, :] - shared
+        power = absh**2
+        evidence = (only_i * power[:, None] + only_j * power[None, :]) / noise_power
+        flagged = (candidate & (evidence < 16.0)).any(axis=1)
+        mask[sel[flagged]] = True
+        return mask
 
     def _entangled_mask(self, d: np.ndarray) -> np.ndarray:
         """Nodes vetoed because an indistinguishable partner exists.
@@ -376,7 +575,7 @@ class RatelessDecoder:
         constellation = collision_constellation(self.h[participants])
         position = int(np.flatnonzero(participants == node)[0])
         labels_bit = constellation.labels[:, position]  # (2^n,)
-        symbols = np.asarray(self._symbols[row])  # (P,)
+        symbols = self._sym_buf[row]  # (P,)
         # Distance from each received symbol to every constellation point.
         dist = np.abs(symbols[:, None] - constellation.points[None, :])  # (P, 2^n)
         # Index of the decoded point per position, from the current estimates.
@@ -580,44 +779,47 @@ def run_rateless_uplink(
     )
 
     transmissions = np.zeros(k, dtype=int)
-    tag_rows = np.zeros((0, k), dtype=np.uint8)
-    block_start = 0
     slot = 0
-    while slot < limit:
-        offset = slot - block_start
-        if not offset < tag_rows.shape[0]:
-            block_start, offset = slot, 0
-            block = range(slot, min(slot + block_size, limit))
-            tag_rows = slot_decision_matrix(tag_seeds, block, density, salt=SALT_DATA)
-            if oracle_view:
-                # Tag-side and reader-side views of D must agree bit-for-bit
-                # — an explicit check (unlike an ``assert``, it survives
-                # ``python -O``) over the whole batch at once.
-                reader_rows = decoder.expected_rows(block)
-                if not np.array_equal(tag_rows, reader_rows):
-                    raise RuntimeError(
-                        "D regeneration diverged: reader-side seeds or density "
-                        "do not reproduce the tags' transmit schedule"
-                    )
-                # The verified block doubles as the decoder's row cache, so
-                # add_slot below does not regenerate it a third time.
-                decoder.prime_row_cache(slot, reader_rows)
-            else:
-                # Non-oracle view: the reader's D covers the recovered ids,
-                # not the tags — the whole point is that the two schedules
-                # may disagree, so it regenerates its own block.
-                decoder.prime_row_cache(slot, decoder.expected_rows(block))
-        row = tag_rows[offset]
-        transmissions += row
-        # Per position p the reflectors contribute h_i * B[i, p].
-        tx_per_position = (messages * row[:, None]).T  # (P, K)
-        symbols = front_end.observe(tx_per_position, channels, rng)
-        decoder.add_slot(symbols, slot)
-        slot += 1
-        if slot % config.decode_every == 0:
-            progress = decoder.try_decode()
-            if decoder.all_decoded:
-                break
+    all_decoded = False
+    while slot < limit and not all_decoded:
+        block = range(slot, min(slot + block_size, limit))
+        tag_rows = slot_decision_matrix(tag_seeds, block, density, salt=SALT_DATA)
+        if oracle_view:
+            # Tag-side and reader-side views of D must agree bit-for-bit
+            # — an explicit check (unlike an ``assert``, it survives
+            # ``python -O``) over the whole batch at once.
+            reader_rows = decoder.expected_rows(block)
+            if not np.array_equal(tag_rows, reader_rows):
+                raise RuntimeError(
+                    "D regeneration diverged: reader-side seeds or density "
+                    "do not reproduce the tags' transmit schedule"
+                )
+            # The verified block doubles as the decoder's row cache, so
+            # add_slot below does not regenerate it a third time.
+            decoder.prime_row_cache(slot, reader_rows)
+        else:
+            # Non-oracle view: the reader's D covers the recovered ids,
+            # not the tags — the whole point is that the two schedules
+            # may disagree, so it regenerates its own block.
+            decoder.prime_row_cache(slot, decoder.expected_rows(block))
+        # One vectorized receive for the whole block replaces the per-slot
+        # (P, K) transmit-matrix build and observe call. The noise stream
+        # is consumed exactly as the per-slot calls consumed it, so seeded
+        # sessions reproduce; when decoding finishes mid-block, the
+        # generator simply stands at the block boundary instead of the
+        # stop slot (nothing downstream draws from it — the data phase is
+        # a session's last consumer of this rng).
+        block_symbols = front_end.observe_block(tag_rows, messages, channels, rng)
+        for offset in range(tag_rows.shape[0]):
+            row = tag_rows[offset]
+            transmissions += row
+            decoder.add_slot(block_symbols[offset], slot)
+            slot += 1
+            if slot % config.decode_every == 0:
+                decoder.try_decode()
+                if decoder.all_decoded:
+                    all_decoded = True
+                    break
 
     if not decoder.all_decoded and decoder.slots_collected and (
         decoder.slots_collected % config.decode_every != 0

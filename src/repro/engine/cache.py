@@ -82,6 +82,23 @@ def _scenario_token(scenario) -> dict:
     return dataclasses.asdict(scenario)
 
 
+#: Config fields dropped from the key token while they hold their default
+#: value. Fields added to ``BuzzConfig`` after a cache format has shipped
+#: would otherwise shift every existing key on upgrade even though the
+#: simulation they address is unchanged; stripping the default keeps old
+#: keys stable while still distinguishing any non-default setting.
+_DEFAULT_ONLY_CONFIG_FIELDS = {"bp_verify_rounds": 4}
+
+
+def _config_token(config) -> dict:
+    """JSON-able identity of a config variant (defaults stripped, see above)."""
+    token = dataclasses.asdict(config)
+    for field, default in _DEFAULT_ONLY_CONFIG_FIELDS.items():
+        if token.get(field) == default:
+            del token[field]
+    return token
+
+
 def spec_key_material(spec: "CampaignSpec") -> dict:
     """The cell-key inputs shared by every cell of one spec.
 
@@ -93,7 +110,7 @@ def spec_key_material(spec: "CampaignSpec") -> dict:
     return {
         "root_seed": spec.root_seed,
         "scenario": _scenario_token(spec.scenario),
-        "configs": [dataclasses.asdict(config) for config in spec.configs],
+        "configs": [_config_token(config) for config in spec.configs],
         "max_slots": spec.max_slots,
     }
 

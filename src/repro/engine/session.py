@@ -468,6 +468,14 @@ class SessionPipeline:
         the monitor disabled (the static pipelines) the loop body runs
         exactly once, which is what makes an adaptive session with
         re-identification turned off bit-identical to its static twin.
+
+        The per-segment decoder construction inside
+        :func:`~repro.core.mobile.run_mobile_data_segment` is also what
+        keeps the incremental decode state sound across splices: each
+        refreshed view starts a clean
+        :class:`~repro.core.decoder_state.DecoderState` (new seeds, new
+        channel estimates, empty collision matrix) instead of mutating
+        one built against the stale view.
         """
         timing = GEN2_DEFAULT_TIMING
         tags = population.tags

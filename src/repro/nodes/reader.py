@@ -21,7 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.phy.noise import awgn
-from repro.phy.signal import received_symbols, slot_energies
+from repro.phy.signal import received_symbol_block, received_symbols, slot_energies
 from repro.utils.validation import ensure_positive
 
 __all__ = ["ReaderFrontEnd"]
@@ -59,6 +59,36 @@ class ReaderFrontEnd:
     ) -> np.ndarray:
         """Received complex symbol per slot for the given transmit schedule."""
         return received_symbols(transmit_matrix, channels, noise_std=self.noise_std, rng=rng)
+
+    def observe_block(
+        self,
+        rows: np.ndarray,
+        bit_matrix: np.ndarray,
+        channels: Sequence[complex],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Received ``(n_slots, P)`` symbols for a block of data-phase slots.
+
+        One vectorized receive for ``rows`` of the collision matrix against
+        the ``(K, P)`` message ``bit_matrix`` — the batched form of calling
+        :meth:`observe` once per slot with ``(bit_matrix * row[:, None]).T``.
+        The noise stream is consumed identically to the per-slot calls.
+
+        Subclasses that override :meth:`observe` (e.g. fault-injection front
+        ends) automatically fall back to the per-slot loop so their hook
+        still sees every slot.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.uint8))
+        if type(self).observe is not ReaderFrontEnd.observe:
+            bits = np.asarray(bit_matrix)
+            if rows.shape[0] == 0:
+                return np.zeros((0, bits.shape[1]), dtype=complex)
+            return np.stack(
+                [self.observe((bits * row[:, None]).T, channels, rng) for row in rows]
+            )
+        return received_symbol_block(
+            rows, bit_matrix, channels, noise_std=self.noise_std, rng=rng
+        )
 
     def observe_empty(self, n_slots: int, rng: np.random.Generator) -> np.ndarray:
         """Noise-only symbols (no tag reflects) — e.g. all-silent slots."""

@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.phy.noise import awgn
+from repro.phy.noise import awgn, awgn_block
 from repro.utils.bits import as_bits
 from repro.utils.validation import ensure_positive_int
 
@@ -30,6 +30,7 @@ __all__ = [
     "ook_waveform",
     "collision_trace",
     "received_symbols",
+    "received_symbol_block",
     "slot_energies",
 ]
 
@@ -155,6 +156,51 @@ def received_symbols(
         if rng is None:
             raise ValueError("rng is required when noise_std > 0")
         y = y + awgn(y.shape, noise_std, rng)
+    return y
+
+
+def received_symbol_block(
+    rows: np.ndarray,
+    bit_matrix: np.ndarray,
+    channels: Sequence[complex],
+    noise_std: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Data-phase received symbols for a whole block of collision slots.
+
+    Parameters
+    ----------
+    rows:
+        ``(n_slots, K)`` binary collision-matrix rows — slot *j*'s row of
+        ``D`` (which tags reflect during slot *j*).
+    bit_matrix:
+        ``(K, P)`` message bits; column *p* is the bit every tag reflects
+        while position *p* is on the air.
+    channels:
+        ``K`` complex channel coefficients.
+
+    Returns
+    -------
+    ``(n_slots, P)`` complex symbols, ``y[j, p] = Σ_i h_i·D[j,i]·b[i,p] + n``.
+
+    The noise consumes the generator stream exactly as ``n_slots``
+    successive per-slot :func:`received_symbols` calls would (see
+    :func:`repro.phy.noise.awgn_block`); the clean signal collapses the
+    per-slot gemvs into one gemm, so it matches the per-slot path to float
+    rounding (last-ulp), not bit for bit.
+    """
+    rows_f = np.atleast_2d(np.asarray(rows, dtype=float))
+    bits_f = np.asarray(bit_matrix, dtype=float)
+    h = np.asarray(channels, dtype=complex)
+    if rows_f.shape[1] != h.size:
+        raise ValueError(f"rows have {rows_f.shape[1]} columns but {h.size} channels given")
+    if bits_f.shape[0] != h.size:
+        raise ValueError(f"bit_matrix has {bits_f.shape[0]} rows but {h.size} channels given")
+    y = (rows_f * h[None, :]) @ bits_f
+    if noise_std > 0:
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        y = y + awgn_block(rows_f.shape[0], bits_f.shape[1], noise_std, rng)
     return y
 
 

@@ -337,3 +337,74 @@ class TestIncrementalGains:
         full = dec._all_gains(residual, b, frozen)
         affected = dec._nofn[best]
         assert np.allclose(gains[affected], full[affected])
+
+
+class TestPairFlipCandidateFilter:
+    """The cap-restricted pair scan must equal the full scan, bit for bit."""
+
+    @staticmethod
+    def _scan_instance(rng, k, ties=False):
+        h = rng.standard_normal(k) + 1j * rng.standard_normal(k)
+        if ties:
+            # Duplicated channels + integer overlaps manufacture exact
+            # float ties in the pair-gain matrix, exercising the
+            # first-maximum row-major tie-break.
+            h = np.repeat(h[: (k + 1) // 2], 2)[:k]
+        d = (rng.random((3 * k, k)) < 0.4).astype(np.uint8)
+        df = d.astype(float)
+        overlap = df.T @ df
+        bits = (rng.random(k) < 0.5).astype(np.uint8)
+        delta = h * (1.0 - 2.0 * bits.astype(float))
+        # Gains straddle zero, biased low, so a healthy share of
+        # instances stall (scan returns None) and the rest escape.
+        gains = (rng.standard_normal(k) - 0.6) * np.abs(h) ** 2
+        if ties:
+            gains = np.repeat(gains[: (k + 1) // 2], 2)[:k]
+        frozen = rng.random(k) < 0.25
+        gains[frozen] = -np.inf
+        return gains, delta, overlap, frozen
+
+    def test_capped_scan_equals_full_scan_fuzz(self):
+        from repro.core.bp_decoder import (
+            best_pair_flip,
+            cross_magnitudes,
+            pair_cross_caps,
+        )
+
+        rng = np.random.default_rng(42)
+        outcomes = {None: 0, "pair": 0}
+        for trial in range(300):
+            k = int(rng.integers(2, 24))
+            gains, delta, overlap, frozen = self._scan_instance(
+                rng, k, ties=bool(trial % 3 == 0)
+            )
+            cap = pair_cross_caps(overlap, delta)
+            full = best_pair_flip(gains, delta, overlap, frozen)
+            capped = best_pair_flip(gains, delta, overlap, frozen, cap=cap)
+            assert capped == full, f"trial {trial}: {capped} != {full}"
+            cm = cross_magnitudes(delta)
+            with_mag = best_pair_flip(
+                gains, delta, overlap, frozen, cap=cap, cross_mag=cm,
+            )
+            assert with_mag == full, f"trial {trial}: {with_mag} != {full}"
+            with_co = best_pair_flip(
+                gains, delta, overlap, frozen,
+                cap=cap, cross_mag=cm, co=cm * overlap,
+            )
+            assert with_co == full, f"trial {trial}: {with_co} != {full}"
+            outcomes["pair" if full else None] += 1
+        # The fuzz must exercise both branches to mean anything.
+        assert outcomes[None] > 20
+        assert outcomes["pair"] > 20
+
+    def test_capped_scan_all_frozen_and_tiny(self):
+        from repro.core.bp_decoder import best_pair_flip, pair_cross_caps
+
+        rng = np.random.default_rng(0)
+        gains, delta, overlap, frozen = self._scan_instance(rng, 5)
+        cap = pair_cross_caps(overlap, delta)
+        all_frozen = np.ones(5, dtype=bool)
+        assert best_pair_flip(gains, delta, overlap, all_frozen, cap=cap) is None
+        one_free = all_frozen.copy()
+        one_free[2] = False
+        assert best_pair_flip(gains, delta, overlap, one_free, cap=cap) is None

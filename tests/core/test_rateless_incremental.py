@@ -1,0 +1,551 @@
+"""Incremental decoder state ≡ rebuild, bit for bit.
+
+The rateless loop keeps a persistent :class:`DecoderState` (packed bits,
+DᵀD overlaps, correlations, residuals) that grows by rank-(new rows)
+updates and shrinks by frozen-column peeling. These tests pin the load-
+bearing claim: every protocol-visible output of the incremental path —
+estimates, decoded masks, slots, progress — is byte-identical to the
+from-scratch rebuild path, across kernels, decode cadences, silencing row
+overrides, and adaptive re-identification splices; plus the exactness
+guarantees of the state algebra itself and the PHY block-batching that
+rides along.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.gf2 import pack_rows, unpack_rows
+from repro.core.bp_decoder import available_kernels, register_kernel, resolve_kernel
+from repro.core.config import BuzzConfig
+from repro.core.decoder_state import DecoderState
+from repro.core.rateless import (
+    STATE_ENV_VAR,
+    RatelessDecoder,
+    _incremental_default,
+    run_rateless_uplink,
+)
+from repro.nodes.population import make_population
+from repro.nodes.reader import ReaderFrontEnd
+from repro.phy.channel import ChannelModel
+from repro.phy.noise import awgn, awgn_block
+from repro.phy.signal import received_symbol_block, received_symbols
+
+GOOD = ChannelModel(mean_snr_db=24.0, near_far_db=8.0, noise_std=0.1)
+
+
+def _population(k, seed, model=GOOD, message_bits=24):
+    pop = make_population(k, np.random.default_rng(seed), channel_model=model,
+                          message_bits=message_bits)
+    rng = np.random.default_rng(seed + 1000)
+    for tag in pop.tags:
+        tag.draw_temp_id(10 * k * k, rng)
+    return pop
+
+
+def _run(pop, seed, incremental, noise=0.1, max_slots=None, config=BuzzConfig()):
+    fe = ReaderFrontEnd(noise_std=noise)
+    return run_rateless_uplink(
+        pop.tags, fe, np.random.default_rng(seed), max_slots=max_slots, config=config
+    )
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.decoded_mask, b.decoded_mask)
+    assert np.array_equal(a.messages, b.messages)
+    assert a.slots_used == b.slots_used
+    assert a.progress == b.progress
+    assert np.array_equal(a.transmissions, b.transmissions)
+    assert a.bit_errors == b.bit_errors
+
+
+# ---------------------------------------------------------------------------
+# DecoderState algebra
+# ---------------------------------------------------------------------------
+class TestDecoderState:
+    def _random_state(self, seed, k=9, m=13, n_rows=40):
+        rng = np.random.default_rng(seed)
+        h = rng.normal(size=k) + 1j * rng.normal(size=k)
+        bits = (rng.random((k, m)) < 0.5).astype(np.uint8)
+        state = DecoderState(h, bits)
+        rows = (rng.random((n_rows, k)) < 0.3).astype(np.uint8)
+        symbols = rng.normal(size=(n_rows, m)) + 1j * rng.normal(size=(n_rows, m))
+        for j in range(n_rows):
+            state.append_slot(rows[j], symbols[j])
+        return state, rows, symbols, h, bits
+
+    def test_append_slot_structure_exact(self):
+        """weights and DᵀD are exact integer accumulations, bit for bit."""
+        state, rows, _, _, _ = self._random_state(0)
+        d = rows.astype(float)
+        assert np.array_equal(state.weights, d.sum(axis=0))
+        assert np.array_equal(state.overlap, d.T @ d)
+        assert np.array_equal(state.d, rows)
+
+    def test_append_slot_residual_and_corr_match_recompute(self):
+        state, rows, symbols, h, bits = self._random_state(1)
+        res_exact = state.y - state.signal @ state.bits.astype(float)
+        np.testing.assert_allclose(state.residual, res_exact, atol=1e-12)
+        corr = state.d_f.T @ np.conj(state.residual)
+        np.testing.assert_allclose(state.corr_re, corr.real, atol=1e-12)
+        np.testing.assert_allclose(state.corr_im, corr.imag, atol=1e-12)
+
+    def test_growth_beyond_initial_capacity(self):
+        state, rows, _, _, _ = self._random_state(2, n_rows=200)
+        assert state.n_rows == 200
+        assert np.array_equal(state.d, rows)
+
+    def test_peel_moves_contribution_exactly(self):
+        """Peeling leaves the residual bytes untouched and keeps y − D·h·b
+        consistent: the frozen contribution moves to the symbol side."""
+        state, _, _, _, _ = self._random_state(3)
+        res_before = state.residual.copy()
+        peeled = np.array([1, 4], dtype=np.int64)
+        kept = np.array([0, 2, 3, 5, 6, 7, 8])
+        h_before = state.h.copy()
+        overlap_before = state.overlap.copy()
+        weights_before = state.weights.copy()
+        state.peel(peeled)
+        assert state.k_active == 7
+        assert np.array_equal(state.active_idx, kept)
+        # Residual bytes untouched, exactly.
+        assert np.array_equal(state.residual, res_before)
+        # Structure arrays are compactions of the old ones, exactly.
+        assert np.array_equal(state.h, h_before[kept])
+        assert np.array_equal(state.weights, weights_before[kept])
+        assert np.array_equal(state.overlap, overlap_before[np.ix_(kept, kept)])
+        # The peeled problem still closes: residual == y − D·diag(h)·bits.
+        res_exact = state.y - state.signal @ state.bits.astype(float)
+        np.testing.assert_allclose(state.residual, res_exact, atol=1e-12)
+
+    def test_append_after_peel_slices_active_columns(self):
+        state, _, _, h, _ = self._random_state(4)
+        state.peel(np.array([0], dtype=np.int64))
+        row_full = np.zeros(9, dtype=np.uint8)
+        row_full[[0, 2]] = 1  # node 0 is frozen — its slice must drop out
+        symbols = np.ones(13, dtype=complex)
+        state.append_slot(row_full, symbols)
+        assert np.array_equal(state.d[-1], (state.active_idx == 2).astype(np.uint8))
+
+    def test_validation(self):
+        state, _, _, _, _ = self._random_state(5)
+        with pytest.raises(ValueError):
+            state.append_slot(np.zeros(3, dtype=np.uint8), np.zeros(13, dtype=complex))
+        with pytest.raises(ValueError):
+            state.append_slot(np.zeros(9, dtype=np.uint8), np.zeros(4, dtype=complex))
+        with pytest.raises(ValueError):
+            DecoderState(np.ones(3, dtype=complex), np.zeros((2, 5), dtype=np.uint8))
+
+    def test_pair_cap_matches_recompute_after_appends_and_peel(self):
+        """The incrementally folded pair_cap equals pair_cross_caps
+        recomputed from scratch — after every append and after a peel."""
+        from repro.core.bp_decoder import pair_cross_caps
+
+        rng = np.random.default_rng(6)
+        k, m = 9, 13
+        h = rng.normal(size=k) + 1j * rng.normal(size=k)
+        bits = (rng.random((k, m)) < 0.5).astype(np.uint8)
+        state = DecoderState(h, bits)
+        for _ in range(60):
+            row = (rng.random(k) < 0.3).astype(np.uint8)
+            sym = rng.normal(size=m) + 1j * rng.normal(size=m)
+            state.append_slot(row, sym)
+            np.testing.assert_array_equal(
+                state.pair_cap, pair_cross_caps(state.overlap, state.h)
+            )
+        state.peel(np.array([1, 4], dtype=np.int64))
+        np.testing.assert_array_equal(
+            state.pair_cap, pair_cross_caps(state.overlap, state.h)
+        )
+        for _ in range(20):
+            row = (rng.random(k) < 0.3).astype(np.uint8)
+            sym = rng.normal(size=m) + 1j * rng.normal(size=m)
+            state.append_slot(row, sym)
+            np.testing.assert_array_equal(
+                state.pair_cap, pair_cross_caps(state.overlap, state.h)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Incremental ≡ rebuild, end to end
+# ---------------------------------------------------------------------------
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("kernel", [k for k in available_kernels() if k != "auto"])
+    def test_golden_session_identical_per_kernel(self, kernel, monkeypatch):
+        """Acceptance: one full buzz-e2e session per registered kernel,
+        peeling on, byte-identical to the rebuild path."""
+        monkeypatch.setenv("REPRO_DECODER_KERNEL", kernel)
+        pop = _population(8, 42)
+        monkeypatch.setenv(STATE_ENV_VAR, "incremental")
+        inc = _run(pop, 42, incremental=True)
+        monkeypatch.setenv(STATE_ENV_VAR, "rebuild")
+        reb = _run(pop, 42, incremental=False)
+        _assert_identical(inc, reb)
+        assert inc.decoded_mask.all() and inc.bit_errors == 0
+
+    def test_abort_bound_session_identical(self, monkeypatch):
+        """Sessions that hit the slot cap with tags still undecoded — the
+        path where weight-0/entangled estimates stay live longest."""
+        pop = _population(10, 7, model=ChannelModel(mean_snr_db=6.0, near_far_db=10.0,
+                                                    noise_std=0.4))
+        monkeypatch.setenv(STATE_ENV_VAR, "incremental")
+        inc = _run(pop, 7, incremental=True, noise=0.4, max_slots=120)
+        monkeypatch.setenv(STATE_ENV_VAR, "rebuild")
+        reb = _run(pop, 7, incremental=False, noise=0.4, max_slots=120)
+        _assert_identical(inc, reb)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_lockstep_property_random_cadence_and_silencing(self, seed):
+        """Property: across random decode cadences, noise levels, and
+        mid-session silencing row overrides, the two paths agree after
+        every single decode call — not just at session end."""
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(4, 12))
+        decode_every = int(rng.integers(1, 6))
+        noise = float(rng.choice([0.05, 0.2, 0.5]))
+        n_slots = int(rng.integers(10, 60))
+        pop = _population(k, int(rng.integers(0, 10_000)))
+        messages = pop.messages
+        channels = pop.channels
+        seeds = [t.temp_id for t in pop.tags]
+        config = BuzzConfig()
+        density = config.data_density(k)
+        dec_seed = int(rng.integers(0, 2**63))
+
+        def mk(inc):
+            return RatelessDecoder(
+                seeds=seeds, channels=channels, n_positions=messages.shape[1],
+                density=density, config=config,
+                rng=np.random.default_rng(dec_seed), noise_std=noise,
+                incremental=inc,
+            )
+
+        a, b = mk(True), mk(False)
+        assert a._state is not None and b._state is None
+        phy = np.random.default_rng(dec_seed ^ 0x5DEECE66D)
+        for slot in range(n_slots):
+            row = a.expected_row(slot)
+            override = rng.random() < 0.3
+            if override:
+                # Reader-known silencing: decoded tags stay quiet.
+                row = row * (~a._decoded).astype(np.uint8)
+            symbols = received_symbols(
+                (messages * row[:, None]).T, channels, noise_std=noise, rng=phy
+            )
+            if override:
+                a.add_slot(symbols, slot, row=row)
+                b.add_slot(symbols, slot, row=row)
+            else:
+                a.add_slot(symbols, slot)
+                b.add_slot(symbols, slot)
+            if (slot + 1) % decode_every == 0:
+                pa, pb = a.try_decode(), b.try_decode()
+                assert pa == pb
+                assert np.array_equal(a._estimates, b._estimates)
+                assert np.array_equal(a._decoded, b._decoded)
+
+    def test_adaptive_reidentification_splices_identical(self, monkeypatch):
+        """Mobility sessions re-identify mid-way and splice a refreshed
+        view into a fresh decoder; both decode-state modes must agree on
+        every persisted field."""
+        from repro.engine.campaign import CampaignSpec, run_campaign
+        from repro.network.scenarios import scenario_by_name
+
+        def records(mode):
+            monkeypatch.setenv(STATE_ENV_VAR, mode)
+            spec = CampaignSpec(
+                scenario=scenario_by_name("mobile-dense", 6),
+                root_seed=77,
+                n_locations=1,
+                n_traces=1,
+                schemes=("buzz-adaptive", "silenced-adaptive"),
+            )
+            result = run_campaign(spec, jobs=1)
+            return [
+                (r.scheme, float(r.duration_s), int(r.message_loss),
+                 int(r.slots_used), int(r.bit_errors),
+                 None if r.reidentifications is None else int(r.reidentifications),
+                 [int(t) for t in r.transmissions])
+                for r in result.runs
+            ]
+
+        assert records("incremental") == records("rebuild")
+
+    def test_all_decoded_then_more_slots(self, monkeypatch):
+        """k_active == 0 edge: extra slots and decode calls after every
+        node froze must be well-defined and identical in both modes."""
+        pop = _population(5, 3)
+        seeds = [t.temp_id for t in pop.tags]
+        config = BuzzConfig()
+        density = config.data_density(5)
+
+        def run(inc):
+            dec = RatelessDecoder(
+                seeds=seeds, channels=pop.channels,
+                n_positions=pop.messages.shape[1], density=density,
+                config=config, rng=np.random.default_rng(99), noise_std=0.05,
+                incremental=inc,
+            )
+            phy = np.random.default_rng(100)
+            slot = 0
+            while not dec.all_decoded and slot < 200:
+                row = dec.expected_row(slot)
+                symbols = received_symbols(
+                    (pop.messages * row[:, None]).T, pop.channels,
+                    noise_std=0.05, rng=phy,
+                )
+                dec.add_slot(symbols, slot)
+                slot += 1
+                dec.try_decode()
+            assert dec.all_decoded
+            for extra in range(slot, slot + 5):
+                row = dec.expected_row(extra)
+                symbols = received_symbols(
+                    (pop.messages * row[:, None]).T, pop.channels,
+                    noise_std=0.05, rng=phy,
+                )
+                dec.add_slot(symbols, extra)
+                dec.try_decode()
+            return dec
+
+        a, b = run(True), run(False)
+        assert np.array_equal(a.messages(), b.messages())
+        assert np.array_equal(a.decoded_mask, b.decoded_mask)
+        assert a.progress == b.progress
+        assert a._state is None or a._state.k_active == 0
+
+    def test_non_state_kernel_falls_back_to_rebuild(self, monkeypatch):
+        """A registered kernel without the state hook must route the loop
+        to the rebuild path permanently — never a stale state."""
+        from repro.core import bp_decoder
+
+        class NoStateKernel(bp_decoder.BatchedBitFlipDecoder):
+            SUPPORTS_STATE = False
+
+        register_kernel("nostate-test", NoStateKernel)
+        try:
+            monkeypatch.setenv("REPRO_DECODER_KERNEL", "nostate-test")
+            pop = _population(5, 8)
+            monkeypatch.setenv(STATE_ENV_VAR, "incremental")
+            inc = _run(pop, 8, incremental=True)
+            monkeypatch.setenv(STATE_ENV_VAR, "rebuild")
+            reb = _run(pop, 8, incremental=False)
+            _assert_identical(inc, reb)
+        finally:
+            bp_decoder._KERNELS.pop("nostate-test", None)
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv(STATE_ENV_VAR, "rebuild")
+        assert _incremental_default() is False
+        dec = RatelessDecoder([1, 2], np.ones(2, dtype=complex), 10, 0.5)
+        assert dec._state is None
+        monkeypatch.setenv(STATE_ENV_VAR, "incremental")
+        assert _incremental_default() is True
+        monkeypatch.setenv(STATE_ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            _incremental_default()
+        # The explicit kwarg wins over the environment.
+        dec = RatelessDecoder([1, 2], np.ones(2, dtype=complex), 10, 0.5,
+                              incremental=False)
+        assert dec._state is None
+
+
+# ---------------------------------------------------------------------------
+# Row-buffer safety (satellite: no defensive copies needed)
+# ---------------------------------------------------------------------------
+class TestRowMutationSafety:
+    def _decoder(self, pop):
+        config = BuzzConfig()
+        return RatelessDecoder(
+            seeds=[t.temp_id for t in pop.tags], channels=pop.channels,
+            n_positions=pop.messages.shape[1],
+            density=config.data_density(len(pop.tags)), config=config,
+            rng=np.random.default_rng(1), noise_std=0.1,
+        )
+
+    def test_mutating_passed_row_after_add_slot_is_harmless(self):
+        pop = _population(4, 11)
+        dec = self._decoder(pop)
+        ctl = self._decoder(pop)
+        row = dec.expected_row(0).copy()
+        symbols = np.ones(pop.messages.shape[1], dtype=complex)
+        dec.add_slot(symbols, 0, row=row)
+        ctl.add_slot(symbols, 0, row=row.copy())
+        row[:] = 1 - row  # caller scribbles over its array afterwards
+        assert np.array_equal(dec._row_buf[:1], ctl._row_buf[:1])
+        assert dec.try_decode() == ctl.try_decode()
+        assert np.array_equal(dec.messages(), ctl.messages())
+
+    def test_mutating_primed_cache_block_after_add_slot_is_harmless(self):
+        """_regenerated_row returns a view into the primed block; add_slot
+        must have copied it into the append-only buffer already."""
+        pop = _population(4, 12)
+        dec = self._decoder(pop)
+        rows = dec.expected_rows(range(4)).copy()
+        dec.prime_row_cache(0, rows)
+        served = dec._regenerated_row(0)
+        expected = served.copy()
+        symbols = np.ones(pop.messages.shape[1], dtype=complex)
+        dec.add_slot(symbols, 0)
+        dec._row_block[:] = 1 - dec._row_block  # corrupt the cache block
+        assert np.array_equal(dec._row_buf[0], expected)
+        if dec._state is not None:
+            assert np.array_equal(dec._state.d[0], expected)
+
+
+# ---------------------------------------------------------------------------
+# BuzzConfig.bp_verify_rounds (satellite: promoted fixpoint bound)
+# ---------------------------------------------------------------------------
+class TestBpVerifyRounds:
+    def test_default_and_validation(self):
+        assert BuzzConfig().bp_verify_rounds == 4
+        with pytest.raises(ValueError):
+            BuzzConfig(bp_verify_rounds=0)
+
+    def test_default_leaves_cache_keys_unchanged(self):
+        """Cache keys must not shift for specs that never set the field —
+        the default is stripped from the key token."""
+        from repro.engine.cache import _config_token, cell_cache_key
+        from repro.engine.campaign import CampaignCell, CampaignSpec
+        from repro.network.scenarios import default_uplink_scenario
+
+        token = _config_token(BuzzConfig())
+        assert "bp_verify_rounds" not in token
+        token2 = _config_token(BuzzConfig(bp_verify_rounds=2))
+        assert token2["bp_verify_rounds"] == 2
+
+        def spec(config):
+            return CampaignSpec(
+                scenario=default_uplink_scenario(4), root_seed=5,
+                n_locations=1, n_traces=1, schemes=("buzz",),
+                configs=(config,),
+            )
+
+        cell = CampaignCell(location=0, trace=0, scheme="buzz", variant=0)
+        assert cell_cache_key(spec(BuzzConfig()), cell) != cell_cache_key(
+            spec(BuzzConfig(bp_verify_rounds=2)), cell
+        )
+
+    def test_bound_respected(self, monkeypatch):
+        """bp_verify_rounds=1 runs exactly one BP+verify pass per call."""
+        pop = _population(5, 13)
+        cfg = BuzzConfig(bp_verify_rounds=1)
+        monkeypatch.setenv(STATE_ENV_VAR, "incremental")
+        inc = _run(pop, 13, incremental=True, config=cfg)
+        monkeypatch.setenv(STATE_ENV_VAR, "rebuild")
+        reb = _run(pop, 13, incremental=False, config=cfg)
+        _assert_identical(inc, reb)
+        assert inc.decoded_mask.all()
+
+
+# ---------------------------------------------------------------------------
+# PHY block batching (satellite: hoisted per-slot observe)
+# ---------------------------------------------------------------------------
+class TestPhyBlockEquivalence:
+    def test_awgn_block_matches_per_slot_stream_exactly(self):
+        """The batched noise draw consumes the generator identically to
+        successive per-slot awgn calls — values AND stream position."""
+        r1, r2 = np.random.default_rng(5), np.random.default_rng(5)
+        block = awgn_block(7, 11, 0.3, r1)
+        per_slot = np.stack([awgn(11, 0.3, r2) for _ in range(7)])
+        assert np.array_equal(block, per_slot)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+    def test_received_symbol_block_matches_per_slot(self):
+        rng = np.random.default_rng(6)
+        k, p, n = 5, 9, 8
+        h = rng.normal(size=k) + 1j * rng.normal(size=k)
+        bits = (rng.random((k, p)) < 0.5).astype(np.uint8)
+        rows = (rng.random((n, k)) < 0.4).astype(np.uint8)
+        r1, r2 = np.random.default_rng(7), np.random.default_rng(7)
+        block = received_symbol_block(rows, bits, h, noise_std=0.2, rng=r1)
+        ref = np.stack([
+            received_symbols((bits * row[:, None]).T, h, noise_std=0.2, rng=r2)
+            for row in rows
+        ])
+        # Clean part collapses per-slot gemvs into one gemm (last-ulp
+        # differences allowed); the noise must be bitwise-shared, so the
+        # difference of the two totals is exactly the clean-signal delta.
+        np.testing.assert_allclose(block, ref, atol=1e-12)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+    def test_observe_block_falls_back_for_subclassed_observe(self):
+        calls = []
+
+        class Hooked(ReaderFrontEnd):
+            def observe(self, transmit_matrix, channels, rng):
+                calls.append(transmit_matrix.shape)
+                return super().observe(transmit_matrix, channels, rng)
+
+        rng = np.random.default_rng(8)
+        k, p, n = 3, 6, 4
+        h = np.ones(k, dtype=complex)
+        bits = (rng.random((k, p)) < 0.5).astype(np.uint8)
+        rows = (rng.random((n, k)) < 0.5).astype(np.uint8)
+        fe = Hooked(noise_std=0.1)
+        out = fe.observe_block(rows, bits, h, np.random.default_rng(9))
+        assert len(calls) == n  # the per-slot hook saw every slot
+        assert out.shape == (n, p)
+        base = ReaderFrontEnd(noise_std=0.1)
+        ref = base.observe_block(rows, bits, h, np.random.default_rng(9))
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_session_loop_matches_per_slot_reference(self, monkeypatch):
+        """run_rateless_uplink's block loop must reproduce the per-slot
+        protocol outputs: same decode trajectory, same decoded bytes."""
+        pop = _population(6, 21)
+        fe = ReaderFrontEnd(noise_std=0.1)
+        res = run_rateless_uplink(pop.tags, fe, np.random.default_rng(21))
+
+        # Hand-rolled per-slot reference loop with the same rng discipline.
+        config = BuzzConfig()
+        k = len(pop.tags)
+        density = config.data_density(k)
+        rng = np.random.default_rng(21)
+        dec = RatelessDecoder(
+            seeds=[t.temp_id for t in pop.tags], channels=pop.channels,
+            n_positions=pop.messages.shape[1], density=density,
+            config=config, rng=np.random.default_rng(rng.integers(0, 2**63)),
+            noise_std=fe.noise_std,
+        )
+        limit = config.max_data_slots(k)
+        block_size = min(limit, RatelessDecoder.ROW_BLOCK)
+        slot, done = 0, False
+        while slot < limit and not done:
+            block = range(slot, min(slot + block_size, limit))
+            rows = dec.expected_rows(block)
+            symbols = fe.observe_block(rows, pop.messages, pop.channels, rng)
+            for off in range(rows.shape[0]):
+                dec.add_slot(symbols[off], slot)
+                slot += 1
+                if slot % config.decode_every == 0:
+                    dec.try_decode()
+                    if dec.all_decoded:
+                        done = True
+                        break
+        assert np.array_equal(res.decoded_mask, dec.decoded_mask)
+        assert np.array_equal(res.messages, dec.messages())
+        assert res.slots_used == dec.slots_collected
+
+
+# ---------------------------------------------------------------------------
+# gf2.pack_rows out= (satellite)
+# ---------------------------------------------------------------------------
+class TestPackRowsOut:
+    def test_out_matches_fresh_allocation(self):
+        rng = np.random.default_rng(30)
+        bits = (rng.random((5, 70)) < 0.5).astype(np.uint8)
+        fresh = pack_rows(bits)
+        out = np.empty_like(fresh)
+        returned = pack_rows(bits, out=out)
+        assert returned is out
+        assert np.array_equal(out, fresh)
+        assert np.array_equal(unpack_rows(out, 70), bits)
+
+    def test_out_validation(self):
+        bits = np.zeros((2, 70), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            pack_rows(bits, out=np.zeros((2, 1), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            pack_rows(bits, out=np.zeros((2, 2), dtype=np.int64))
