@@ -18,13 +18,16 @@ Usage::
     python -m repro cache --cache-dir .buzz-cache --stats   # cache maintenance
 
 ``--jobs``, ``--cache-dir``, ``--backend`` and ``--progress`` apply to
-every campaign-backed experiment (fig10–fig13, fig15, fig16 and headline);
+every campaign-backed experiment (fig10–fig13, fig15–fig17 and headline);
 ``--schemes`` and ``--scenario`` to the per-scheme figures (fig10, fig11,
 fig13, fig15 — fig12's band sweep, fig16's mobility grid and headline's
 composition fix their own scenarios). fig15 sweeps the end-to-end session
 schemes (``buzz-e2e``, ``silenced-e2e``, ``gen2-tdma-e2e``) against the
 oracle ``buzz``; fig16 sweeps drift × churn mobility, static ``buzz-e2e``
-vs ``buzz-adaptive`` (mid-session re-identification) vs the oracle.
+vs ``buzz-adaptive`` (mid-session re-identification) vs the oracle; fig17
+sweeps reader density × collision mode through the event-driven
+multi-reader simulator (``multi-reader-*`` schemes, ``two-portal`` /
+``dense-floor`` / ``handoff`` scenarios).
 Experiments a flag does not apply to ignore it with a note. Every backend
 is bit-identical to serial for the same seed, and a second run against the
 same ``--cache-dir`` executes zero new campaign cells.
@@ -61,6 +64,7 @@ from repro.experiments import (
     fig14_identification,
     fig15_end_to_end,
     fig16_mobility,
+    fig17_reader_density,
     headline,
     toy_example,
 )
@@ -121,6 +125,14 @@ _EXPERIMENTS = {
             "n_locations": 2,
             "n_traces": 1,
         },
+        {"jobs", "schemes", "cache_dir", "backend", "on_cell"},
+    ),
+    "fig17": (
+        fig17_reader_density,
+        {},
+        # Smoke mode: tiny K, single vs pair of readers — the CI leg that
+        # keeps the multi-reader simulator exercised on every push.
+        {"n_tags": 8, "reader_counts": (1, 2), "n_locations": 2, "n_traces": 1},
         {"jobs", "schemes", "cache_dir", "backend", "on_cell"},
     ),
     "headline": (
@@ -218,6 +230,12 @@ def _worker_main(argv) -> int:
         "--max-cells", type=int, default=None, metavar="N",
         help="stop after executing N cells (default: unbounded)",
     )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="S",
+        help="refresh a claimed lease's mtime every S seconds while its "
+        "cell executes, so reapers with shorter timeouts than one cell's "
+        "runtime never re-issue live work (default 15; 0 disables)",
+    )
     args = parser.parse_args(argv)
     if args.poll <= 0:
         parser.error("--poll must be > 0")
@@ -225,7 +243,9 @@ def _worker_main(argv) -> int:
         parser.error("--idle-timeout must be >= 0")
     if args.max_cells is not None and args.max_cells < 1:
         parser.error("--max-cells must be >= 1")
-    from repro.engine.queue import run_worker
+    if args.heartbeat is not None and args.heartbeat < 0:
+        parser.error("--heartbeat must be >= 0")
+    from repro.engine.queue import DEFAULT_HEARTBEAT_S, run_worker
 
     executed = run_worker(
         args.cache_dir,
@@ -233,6 +253,7 @@ def _worker_main(argv) -> int:
         idle_timeout=args.idle_timeout,
         max_cells=args.max_cells,
         echo=print,
+        heartbeat_s=DEFAULT_HEARTBEAT_S if args.heartbeat is None else args.heartbeat,
     )
     print(f"[worker] done: {executed} cell(s) executed")
     return 0

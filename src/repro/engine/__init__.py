@@ -78,6 +78,10 @@ from repro.engine.session import (
     StageAccount,
 )
 
+# Importing the sim scheme module registers the ``multi-reader`` family
+# (same side-effect pattern as the session schemes above).
+from repro.sim.scheme import MultiReaderScheme
+
 __all__ = [
     "SCHEMES",
     "AdaptiveSessionPipeline",
@@ -92,6 +96,7 @@ __all__ = [
     "ExecutionContext",
     "ExecutorBackend",
     "IdentificationStage",
+    "MultiReaderScheme",
     "PlannedCell",
     "ProcessPoolBackend",
     "RatelessScheme",

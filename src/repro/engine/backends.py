@@ -48,6 +48,10 @@ from repro.engine.schemes import UplinkScheme
 #: far below any sane ``cache --prune-jobs --max-age`` (default 3600 s).
 _JOB_HEARTBEAT_S = 30.0
 
+#: Ceiling of the coordinator's derived lease-heartbeat period (matches
+#: the worker CLI's ``--heartbeat`` default).
+_LEASE_HEARTBEAT_CAP_S = 15.0
+
 __all__ = [
     "ExecutionContext",
     "ExecutorBackend",
@@ -194,20 +198,38 @@ class CacheQueueBackend(ExecutorBackend):
     :func:`repro.engine.queue.run_worker`. Every cell is *stored* exactly
     once by whoever wins its lease; the merged result is bit-identical to
     the serial backend because cells are pure functions of the spec.
+
+    While executing a cell itself, the coordinator heartbeats the held
+    lease every ``heartbeat`` seconds (default: derived from its own
+    ``lease_timeout``, comfortably below it) so that another party
+    reaping with a similar timeout never takes a lease this live process
+    is working under — the heartbeat contract in
+    :mod:`repro.engine.cache`. ``heartbeat=0`` disables the refresh.
     """
 
     name = "cache-queue"
     requires_cache = True
 
     def __init__(
-        self, lease_timeout: float = 60.0, poll_interval: float = 0.05
+        self,
+        lease_timeout: float = 60.0,
+        poll_interval: float = 0.05,
+        heartbeat: Optional[float] = None,
     ) -> None:
         if lease_timeout < 0:
             raise ValueError("lease_timeout must be >= 0")
         if poll_interval <= 0:
             raise ValueError("poll_interval must be > 0")
+        if heartbeat is not None and heartbeat < 0:
+            raise ValueError("heartbeat must be >= 0 (or None)")
         self.lease_timeout = lease_timeout
         self.poll_interval = poll_interval
+        if heartbeat is None:
+            # A quarter of our own reap timeout keeps a live lease at
+            # most 25 % "aged" in the eyes of any reaper at least as
+            # patient as we are, capped at the worker default.
+            heartbeat = min(lease_timeout / 4.0, _LEASE_HEARTBEAT_CAP_S)
+        self.heartbeat = heartbeat
 
     def execute(self, ctx: ExecutionContext) -> None:
         from repro.engine.queue import claim_and_execute, pack_campaign
@@ -244,7 +266,11 @@ class CacheQueueBackend(ExecutorBackend):
                         (run, False)
                         if run is not None  # a worker beat us to it
                         else claim_and_execute(
-                            cache, ctx.spec, ctx.schemes, planned
+                            cache,
+                            ctx.spec,
+                            ctx.schemes,
+                            planned,
+                            heartbeat_s=self.heartbeat,
                         )
                     )
                     if outcome is None:
@@ -283,7 +309,7 @@ register_backend(CacheQueueBackend.name, CacheQueueBackend)
 _BACKEND_OPTIONS = {
     SerialBackend.name: (),
     ProcessPoolBackend.name: ("jobs", "mp_context", "chunk_size"),
-    CacheQueueBackend.name: ("lease_timeout", "poll_interval"),
+    CacheQueueBackend.name: ("lease_timeout", "poll_interval", "heartbeat"),
 }
 
 

@@ -21,8 +21,8 @@ filesystem with atomic rename/exclusive-create semantics::
 
 Corrupt or foreign files are treated as misses, never errors.
 
-Lease format
-------------
+Lease format and lifecycle
+--------------------------
 A lease is a claim on one cell: a file named ``<key>.lease`` created with
 ``O_CREAT | O_EXCL`` (exclusive-create is the atomicity primitive — exactly
 one claimant wins, even across hosts). Its payload is one JSON object,
@@ -34,6 +34,28 @@ leaves its lease behind, and :meth:`CampaignCache.reap_leases` removes
 leases older than a timeout (or whose cell record already exists) so the
 cell can be re-claimed. The stored record, not the lease, is the source of
 truth: losing a lease race after storing is harmless.
+
+**Heartbeat contract.** A lease's mtime is a *liveness signal*, not a
+birthdate: the holder must refresh it (:meth:`CampaignCache.touch_lease`)
+at a period well below every reaper's timeout while it executes the cell.
+:func:`repro.engine.queue.claim_and_execute` runs a background heartbeat
+thread for exactly this (``python -m repro worker --heartbeat`` sets the
+interval; the ``cache-queue`` coordinator derives one from its own
+``lease_timeout``), so a cell that takes arbitrarily longer than any
+reaper's timeout keeps its lease and executes exactly once. A lease that
+stops freshening is therefore presumed dead and reaped; reaping a *live*
+but non-heartbeating claimant's lease is still safe for correctness — the
+cell merely executes twice and the atomic store makes the duplicate a
+no-op — so the heartbeat is a work-deduplication guarantee, not a safety
+requirement.
+
+**Clock domains.** Staleness is measured as ``mtime_now − mtime_lease``
+where *both* timestamps come from the cache's own filesystem: reapers
+obtain "now" by creating a probe file in the cache and reading the mtime
+the filesystem stamped on it, never from the local ``time.time()``. On a
+shared (e.g. NFS) cache, a reaper whose wall clock runs minutes ahead of
+the file server's would otherwise see every fresh lease as already
+expired and reap live workers wholesale.
 
 **The key covers a cell's data inputs, not the code that evaluates it.**
 Scheme names stand in for scheme implementations, so editing a scheme,
@@ -233,6 +255,31 @@ class CampaignCache:
     def _lease_path(self, key: str) -> Path:
         return self.root / _LEASE_DIR / f"{key}.lease"
 
+    def _fs_now(self) -> float:
+        """Current time *in the cache filesystem's clock domain*.
+
+        Creates a throwaway probe file in the cache root and returns the
+        mtime the filesystem stamped on it. Age tests against other files'
+        mtimes (leases, job envelopes) must use this as "now": those
+        mtimes were stamped by the same filesystem, so the comparison is
+        skew-free even when this host's wall clock disagrees with the file
+        server's by minutes. Falls back to ``time.time()`` only if the
+        probe cannot be created (read-only mount) — a degraded mode that
+        merely restores the historical skew-sensitive behaviour.
+        """
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".clock")
+        except OSError:
+            return time.time()
+        try:
+            return os.fstat(fd).st_mtime
+        finally:
+            os.close(fd)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
     def claim(self, key: str) -> bool:
         """Atomically claim a cell for execution; ``True`` iff we won.
 
@@ -265,6 +312,20 @@ class CampaignCache:
         except OSError:
             pass
 
+    def touch_lease(self, key: str) -> None:
+        """Heartbeat a held lease (freshen its mtime).
+
+        The holder calls this periodically while executing the cell so
+        :meth:`reap_leases`'s age test keeps treating the lease as live —
+        the module-docstring heartbeat contract. Missing is fine: a reaper
+        with a shorter timeout than the heartbeat period may already have
+        taken it, which costs duplicated work but never correctness.
+        """
+        try:
+            os.utime(self._lease_path(key))
+        except OSError:
+            pass
+
     def leases(self) -> List[str]:
         """Keys of every outstanding lease."""
         lease_dir = self.root / _LEASE_DIR
@@ -279,10 +340,12 @@ class CampaignCache:
         mid-cell). Reaping a live worker's lease is safe for correctness —
         the cell would merely execute twice, and the atomic store makes
         the duplicate a no-op — so a too-small timeout costs work, never
-        wrongness.
+        wrongness. Ages are measured against the cache filesystem's own
+        clock (:meth:`_fs_now`), not this host's — a skewed local clock
+        must not make fresh leases look expired.
         """
         reaped = 0
-        now = time.time()
+        now = self._fs_now()
         for path in (self.root / _LEASE_DIR).glob("*.lease"):
             key = path.stem
             try:
@@ -351,10 +414,11 @@ class CampaignCache:
         stale one means it was killed outright. Orphaned envelopes are
         more than dead weight: every long-lived worker re-plans the dead
         campaign's whole grid on each poll sweep. Returns the number
-        removed.
+        removed. Like :meth:`reap_leases`, ages are measured against the
+        cache filesystem's own clock, not this host's.
         """
         reaped = 0
-        now = time.time()
+        now = self._fs_now()
         for path in (self.root / _QUEUE_DIR).glob("*.job"):
             try:
                 stale = (now - path.stat().st_mtime) >= max_age_s

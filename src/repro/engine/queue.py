@@ -15,12 +15,16 @@ Envelopes are pickles, which ships user-registered scheme objects by
 value (matching the process-pool backend) but requires every worker to
 run the same code revision — see the multi-host caveat in
 :mod:`repro.engine.cache`. A worker that cannot unpickle an envelope
-(version skew, foreign file) skips it rather than crashing the fleet.
+skips it for now and retries on later sweeps with a bounded backoff: a
+read that raced the coordinator's publish heals on the next attempt,
+while genuine version skew or a foreign file just keeps being skipped
+cheaply instead of crashing the fleet.
 """
 
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from typing import Callable, Dict, Optional, Tuple
 
@@ -33,6 +37,18 @@ __all__ = ["pack_campaign", "unpack_campaign", "claim_and_execute", "run_worker"
 
 #: Envelope format marker — bumped if the payload layout ever changes.
 _ENVELOPE_VERSION = 1
+
+#: Ceiling of the unreadable-envelope retry backoff (seconds). Attempts
+#: double from the poll interval up to this, so a transiently unreadable
+#: envelope is retried within a sweep or two while a permanently foreign
+#: one costs one unpickle attempt per ~half minute, not per sweep.
+_UNREADABLE_RETRY_CAP_S = 30.0
+
+#: Default lease-heartbeat period (seconds) — the ``--heartbeat`` default.
+#: Far below any sane reap timeout (``cache --prune-leases`` defaults to
+#: 3600 s; the coordinator's ``lease_timeout`` to 60 s), so a live worker's
+#: lease always looks fresh to every reaper.
+DEFAULT_HEARTBEAT_S = 15.0
 
 
 def pack_campaign(spec: CampaignSpec, schemes: Dict[str, UplinkScheme]) -> bytes:
@@ -55,13 +71,20 @@ def unpack_campaign(
         return None
 
 
-def claim_and_execute(cache, spec, schemes, planned):
+def claim_and_execute(cache, spec, schemes, planned, heartbeat_s=None):
     """The work queue's core step, shared by coordinator and workers.
 
     Claim the cell's lease → re-check the record *under the lease* (the
     caller's plan is a snapshot, and another party may have completed the
     cell and released since it was computed — executing now would
     duplicate its work) → execute → store atomically → release.
+
+    ``heartbeat_s`` enables the lease-heartbeat contract (see
+    :mod:`repro.engine.cache`): a daemon thread refreshes the held lease's
+    mtime every ``heartbeat_s`` seconds for as long as the cell executes,
+    so a reaper whose timeout is shorter than one cell's runtime no longer
+    takes a *live* worker's lease and re-issues the cell. ``None``/``0``
+    disables the heartbeat (the pre-heartbeat behaviour).
 
     Returns ``None`` when the lease was not ours to take, else
     ``(run, executed)`` where ``executed`` is ``False`` if the re-check
@@ -72,6 +95,19 @@ def claim_and_execute(cache, spec, schemes, planned):
     """
     if not cache.claim(planned.key):
         return None  # in flight elsewhere
+    stop: Optional[threading.Event] = None
+    beater: Optional[threading.Thread] = None
+    if heartbeat_s is not None and heartbeat_s > 0:
+        stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(heartbeat_s):
+                cache.touch_lease(planned.key)
+
+        beater = threading.Thread(
+            target=_beat, name=f"lease-heartbeat-{planned.key[:8]}", daemon=True
+        )
+        beater.start()
     try:
         run = cache.load_key(planned.key)
         if run is not None:
@@ -80,7 +116,37 @@ def claim_and_execute(cache, spec, schemes, planned):
         cache.store_key(planned.key, run)
         return run, True
     finally:
+        if stop is not None:
+            stop.set()
+            beater.join()
         cache.release(planned.key)
+
+
+class _UnreadableJob:
+    """Retry state for an envelope that failed to unpickle.
+
+    Tracks how many attempts failed and when the next one is due; the
+    delay doubles from the worker's poll interval up to
+    ``_UNREADABLE_RETRY_CAP_S`` and then stays there — the envelope is
+    retried forever (a coordinator may re-publish a readable one under
+    the same id), just never more than once per cap interval.
+    """
+
+    __slots__ = ("attempts", "next_attempt")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.next_attempt = 0.0
+
+    def record_failure(self, poll_interval: float) -> None:
+        self.attempts += 1
+        delay = min(
+            poll_interval * (2.0 ** (self.attempts - 1)), _UNREADABLE_RETRY_CAP_S
+        )
+        self.next_attempt = time.monotonic() + delay
+
+    def due(self) -> bool:
+        return time.monotonic() >= self.next_attempt
 
 
 def run_worker(
@@ -89,6 +155,7 @@ def run_worker(
     idle_timeout: float = 0.0,
     max_cells: Optional[int] = None,
     echo: Optional[Callable[[str], None]] = None,
+    heartbeat_s: Optional[float] = DEFAULT_HEARTBEAT_S,
 ) -> int:
     """Join published campaigns as one worker; return cells executed.
 
@@ -99,12 +166,16 @@ def run_worker(
     timeout when starting the worker *before* or *alongside* a
     coordinator so it waits for the campaign to appear. ``max_cells``
     bounds the work done (mainly for tests and gradual scale-out);
-    ``echo`` receives one progress line per executed cell.
+    ``echo`` receives one progress line per executed cell. ``heartbeat_s``
+    is the lease-refresh period forwarded to :func:`claim_and_execute`
+    (``None``/``0`` disables heartbeats).
     """
     if poll_interval <= 0:
         raise ValueError("poll_interval must be > 0")
     if idle_timeout < 0:
         raise ValueError("idle_timeout must be >= 0")
+    if heartbeat_s is not None and heartbeat_s < 0:
+        raise ValueError("heartbeat_s must be >= 0 (or None)")
     cache = CampaignCache(cache_dir)
     executed = 0
     idle_since: Optional[float] = None
@@ -112,8 +183,11 @@ def run_worker(
     # happen once per job, not once per poll sweep; per sweep each cell
     # costs one `contains` stat (plus the claim protocol for the few that
     # are actually pending), keeping a waiting worker's footprint on a
-    # shared filesystem flat instead of O(completed cells).
-    plans: Dict[str, Optional[tuple]] = {}
+    # shared filesystem flat instead of O(completed cells). An envelope
+    # that fails to unpickle (a read racing the publish, version skew)
+    # parks as an _UnreadableJob and is re-attempted with bounded backoff
+    # instead of being written off until worker restart.
+    plans: Dict[str, object] = {}
     while True:
         claimed_any = False
         jobs = cache.load_jobs()
@@ -121,22 +195,31 @@ def run_worker(
         for stale_id in set(plans) - live_ids:
             del plans[stale_id]
         for job_id, payload in jobs:
-            if job_id not in plans:
+            entry = plans.get(job_id)
+            if isinstance(entry, _UnreadableJob) and entry.due():
                 campaign = unpack_campaign(payload)
-                plans[job_id] = (
-                    None
-                    if campaign is None
-                    else (*campaign, plan_campaign(campaign[0]))
-                )
-            if plans[job_id] is None:
-                continue  # unreadable envelope — someone else's problem
-            spec, schemes, plan = plans[job_id]
+                if campaign is None:
+                    entry.record_failure(poll_interval)
+                else:
+                    entry = plans[job_id] = (*campaign, plan_campaign(campaign[0]))
+            elif entry is None:
+                campaign = unpack_campaign(payload)
+                if campaign is None:
+                    entry = plans[job_id] = _UnreadableJob()
+                    entry.record_failure(poll_interval)
+                else:
+                    entry = plans[job_id] = (*campaign, plan_campaign(campaign[0]))
+            if isinstance(entry, _UnreadableJob):
+                continue  # unreadable right now — backoff running
+            spec, schemes, plan = entry
             for planned in plan.pending():
                 if max_cells is not None and executed >= max_cells:
                     return executed
                 if cache.contains(planned.key):
                     continue  # completed (by anyone) on an earlier sweep
-                outcome = claim_and_execute(cache, spec, schemes, planned)
+                outcome = claim_and_execute(
+                    cache, spec, schemes, planned, heartbeat_s=heartbeat_s
+                )
                 if outcome is None or not outcome[1]:
                     continue  # in flight elsewhere, or done by the time we won
                 executed += 1

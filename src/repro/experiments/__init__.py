@@ -20,5 +20,7 @@ version.
 | ``fig13_energy``          | Fig. 13 energy per query           |
 | ``fig14_identification``  | Fig. 14 identification time vs K   |
 | ``fig15_end_to_end``      | Complete sessions (repo extension) |
+| ``fig16_mobility``        | Mobile sessions (repo extension)   |
+| ``fig17_reader_density``  | Reader density (repo extension)    |
 | ``headline``              | §1/§10 overall 3.5× gain           |
 """

@@ -15,6 +15,12 @@ simulator); scenarios pin the *relative* conditions that drive each figure:
   the scenario carries a :class:`~repro.phy.channel.MobilityModel` whose
   drift/churn rates the session pipelines realise per run; the
   parameterised :func:`mobile_scenario` builds the fig16 sweep's grid.
+* :func:`two_portal_scenario` / :func:`dense_floor_scenario` /
+  :func:`handoff_scenario` — multi-reader deployments: the scenario
+  carries a :class:`~repro.phy.channel.MultiReaderModel` (zones, overlap,
+  collision mode) that the event-driven simulator in
+  :mod:`repro.sim.multireader` realises per run; the parameterised
+  :func:`multi_reader_scenario` builds the fig17 sweep's grid.
 
 ``CHALLENGING_SNR_BANDS`` lists the five bands of Fig. 12's x-axis. Paper
 SNRs were measured on their USRP against their noise floor; our equivalent
@@ -31,7 +37,12 @@ from typing import Callable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.nodes.population import TagPopulation, make_population
-from repro.phy.channel import ChannelModel, MobilityModel, channels_for_snr_band
+from repro.phy.channel import (
+    ChannelModel,
+    MobilityModel,
+    MultiReaderModel,
+    channels_for_snr_band,
+)
 from repro.utils.validation import ensure_positive_int
 
 __all__ = [
@@ -45,6 +56,10 @@ __all__ = [
     "mobile_sparse_scenario",
     "mobile_dense_scenario",
     "churn_scenario",
+    "multi_reader_scenario",
+    "two_portal_scenario",
+    "dense_floor_scenario",
+    "handoff_scenario",
     "scenario_by_name",
     "resolve_scenario_factory",
     "ScenarioLike",
@@ -85,6 +100,10 @@ class Scenario:
     snr_band_db:
         When set, channels are drawn uniformly in this per-tag SNR band
         instead of from the channel model (the Fig. 12 mode).
+    readers:
+        When set, the deployment runs several concurrent readers with
+        these zone/overlap/collision statistics; the ``multi-reader``
+        scheme family realises one zone trajectory per run.
     """
 
     name: str
@@ -93,15 +112,16 @@ class Scenario:
     message_bits: int = 32
     snr_band_db: Optional[Tuple[float, float]] = None
     mobility: Optional[MobilityModel] = None
+    readers: Optional[MultiReaderModel] = None
 
     def cache_token(self) -> dict:
         """Stable, JSON-able identity for campaign result caching.
 
         Everything that shapes a population draw is included — name alone
         would alias scenarios that share a label but differ in channel
-        statistics or payload size. ``mobility`` is part of the token only
-        when set, so every static scenario keeps the cache key it had
-        before the mobility axis existed.
+        statistics or payload size. ``mobility`` and ``readers`` are part
+        of the token only when set, so every static single-reader scenario
+        keeps the cache key it had before those axes existed.
         """
         from dataclasses import asdict
 
@@ -110,6 +130,8 @@ class Scenario:
             token["snr_band_db"] = list(token["snr_band_db"])
         if token.get("mobility") is None:
             token.pop("mobility", None)
+        if token.get("readers") is None:
+            token.pop("readers", None)
         return token
 
     def draw_population(self, rng: np.random.Generator, with_energy: bool = False,
@@ -133,6 +155,7 @@ class Scenario:
             initial_voltage_v=initial_voltage_v,
             channels=channels,
             mobility=self.mobility,
+            readers=self.readers,
         )
 
 
@@ -305,6 +328,109 @@ def churn_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
     )
 
 
+def multi_reader_scenario(
+    n_tags: int,
+    message_bits: int = 32,
+    *,
+    n_readers: int = 2,
+    collision_mode: str = "naive",
+    overlap_fraction: float = 0.3,
+    cross_gain_db: float = -6.0,
+    capture_margin_db: float = 6.0,
+    handoff_rate_hz: float = 0.0,
+    cadence_spread: float = 0.1,
+    channel_model: Optional[ChannelModel] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """A parameterised multi-reader deployment — the fig17 sweep's block.
+
+    Attaches a :class:`~repro.phy.channel.MultiReaderModel` to the dense
+    shelf channel class by default. ``handoff_rate_hz`` is per second of
+    airtime: a complete session spans ~0.1 s at these link rates, so a
+    rate around 20/s gives each tag about two zone crossings per session.
+    """
+    ensure_positive_int(n_tags, "n_tags")
+    model = channel_model if channel_model is not None else ChannelModel(
+        mean_snr_db=20.0, near_far_db=16.0, rician_k_db=6.0, noise_std=0.1
+    )
+    label = name if name is not None else (
+        f"multi-reader-k{n_tags}-r{n_readers}-{collision_mode}"
+    )
+    return Scenario(
+        name=label,
+        n_tags=n_tags,
+        channel_model=model,
+        message_bits=message_bits,
+        readers=MultiReaderModel(
+            n_readers=n_readers,
+            collision_mode=collision_mode,
+            overlap_fraction=overlap_fraction,
+            cross_gain_db=cross_gain_db,
+            capture_margin_db=capture_margin_db,
+            handoff_rate_hz=handoff_rate_hz,
+            cadence_spread=cadence_spread,
+        ),
+    )
+
+
+def two_portal_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
+    """Two dock-door portals side by side — the canonical pair deployment.
+
+    Portal-class channels (close range, strong line of sight, like the
+    shopping cart) with a modest shared aisle between the two zones.
+    """
+    return multi_reader_scenario(
+        n_tags,
+        message_bits,
+        n_readers=2,
+        collision_mode="capture",
+        overlap_fraction=0.25,
+        cross_gain_db=-6.0,
+        channel_model=ChannelModel(
+            mean_snr_db=26.0, near_far_db=10.0, rician_k_db=12.0, noise_std=0.1
+        ),
+        name=f"two-portal-k{n_tags}",
+    )
+
+
+def dense_floor_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
+    """A retail floor blanketed by four readers with heavy zone overlap.
+
+    Dense-shelf channels and enough overlap that reader-to-reader
+    interference is the norm, not the exception — the deployment class
+    where the collision-mode ladder separates most.
+    """
+    return multi_reader_scenario(
+        n_tags,
+        message_bits,
+        n_readers=4,
+        collision_mode="interference",
+        overlap_fraction=0.5,
+        cross_gain_db=-4.0,
+        name=f"dense-floor-k{n_tags}",
+    )
+
+
+def handoff_scenario(n_tags: int, message_bits: int = 32) -> Scenario:
+    """Conveyor flow: tags stream through consecutive reader zones.
+
+    High handoff rate (~2 zone crossings per full-length session) with a
+    wide overlap band, so most tags are mid-crossing at any instant and
+    sessions routinely lose members to the next zone — the multi-reader
+    analogue of the churn scenario.
+    """
+    return multi_reader_scenario(
+        n_tags,
+        message_bits,
+        n_readers=3,
+        collision_mode="capture",
+        overlap_fraction=0.8,
+        cross_gain_db=-3.0,
+        handoff_rate_hz=20.0,
+        name=f"handoff-k{n_tags}",
+    )
+
+
 #: Named location classes any campaign-backed figure can be re-run on.
 SCENARIO_NAMES: Tuple[str, ...] = (
     "default",
@@ -315,6 +441,9 @@ SCENARIO_NAMES: Tuple[str, ...] = (
     "mobile-sparse",
     "mobile-dense",
     "churn",
+    "two-portal",
+    "dense-floor",
+    "handoff",
 )
 
 ScenarioLike = Union[None, str, Callable[[int], Scenario]]
@@ -347,6 +476,12 @@ def scenario_by_name(
         return mobile_dense_scenario(n_tags, **kwargs)
     if name == "churn":
         return churn_scenario(n_tags, **kwargs)
+    if name == "two-portal":
+        return two_portal_scenario(n_tags, **kwargs)
+    if name == "dense-floor":
+        return dense_floor_scenario(n_tags, **kwargs)
+    if name == "handoff":
+        return handoff_scenario(n_tags, **kwargs)
     raise ValueError(f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}")
 
 

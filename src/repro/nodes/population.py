@@ -17,7 +17,7 @@ import numpy as np
 from repro.coding.crc import CRC5_GEN2, CrcSpec, crc_append
 from repro.nodes.energy import CapacitorEnergyModel
 from repro.nodes.tag import BackscatterTag, TagKind
-from repro.phy.channel import ChannelModel, MobilityModel
+from repro.phy.channel import ChannelModel, MobilityModel, MultiReaderModel
 from repro.phy.sync import ClockModel
 from repro.utils.bits import random_bits
 from repro.utils.validation import ensure_positive_int
@@ -34,12 +34,18 @@ class TagPopulation:
     :class:`~repro.phy.channel.MobilityModel`); session pipelines realise
     one :class:`~repro.phy.channel.ChannelTrajectory` from it per run.
     ``None`` means the draw is static for the whole session (the default,
-    and the paper's §9 setup).
+    and the paper's §9 setup). ``readers`` likewise carries the
+    multi-reader deployment statistics (zones, overlap, collision mode —
+    see :class:`~repro.phy.channel.MultiReaderModel`) when the scenario
+    runs many concurrent readers; the multi-reader simulator realises one
+    :class:`~repro.phy.channel.ZoneTrajectory` from it per run. ``None``
+    means a single reader owns the whole field.
     """
 
     tags: List[BackscatterTag]
     noise_std: float
     mobility: Optional[MobilityModel] = None
+    readers: Optional[MultiReaderModel] = None
 
     def __len__(self) -> int:
         return len(self.tags)
@@ -86,6 +92,7 @@ def make_population(
     initial_voltage_v: float = 3.0,
     channels: Optional[Sequence[complex]] = None,
     mobility: Optional[MobilityModel] = None,
+    readers: Optional[MultiReaderModel] = None,
 ) -> TagPopulation:
     """Draw a population of ``n_tags`` ready to run the uplink experiments.
 
@@ -105,6 +112,9 @@ def make_population(
     mobility:
         Optional time-variation statistics attached to the draw (mobile
         scenarios); the population itself is still drawn at ``t = 0``.
+    readers:
+        Optional multi-reader deployment statistics attached to the draw
+        (multi-reader scenarios); zone membership is realised per run.
     """
     ensure_positive_int(n_tags, "n_tags")
     model = channel_model if channel_model is not None else ChannelModel()
@@ -138,4 +148,6 @@ def make_population(
                 else None,
             )
         )
-    return TagPopulation(tags=tags, noise_std=model.noise_std, mobility=mobility)
+    return TagPopulation(
+        tags=tags, noise_std=model.noise_std, mobility=mobility, readers=readers
+    )

@@ -27,9 +27,24 @@ __all__ = [
     "ChannelModel",
     "MobilityModel",
     "ChannelTrajectory",
+    "MultiReaderModel",
+    "ZoneTrajectory",
+    "COLLISION_MODES",
     "backscatter_path_gain",
     "near_far_spread_db",
 ]
+
+#: Reader-to-reader interference resolutions the multi-reader simulator
+#: supports — the FADR collision-model ladder:
+#:
+#: * ``"naive"``  — any temporal overlap with a foreign reflection in the
+#:   zone corrupts the slot (both-lost, FADR mode 0);
+#: * ``"capture"`` — the slot survives cleanly when the desired power
+#:   exceeds the interference by the capture margin (FADR mode 1);
+#: * ``"interference"`` — non-orthogonal superposition: the slot is never
+#:   discarded, the foreign energy lands in the received symbols as extra
+#:   noise (FADR mode 2).
+COLLISION_MODES: Tuple[str, ...] = ("naive", "capture", "interference")
 
 
 def backscatter_path_gain(distance_m, exponent: float = 2.0, reference_m: float = 0.3) -> np.ndarray:
@@ -333,6 +348,176 @@ class ChannelTrajectory:
         if t_s < 0:
             raise ValueError("time must be >= 0")
         return float(self._rho ** self.block_index(t_s))
+
+
+@dataclass(frozen=True)
+class MultiReaderModel:
+    """Deployment statistics of a multi-reader field (portals, floors).
+
+    Readers sit on a ring; every tag has a *home* reader (the zone it
+    occupies, and the only session it participates in) and, with
+    probability ``overlap_fraction``, also lies in the overlap region
+    shared with the next reader on the ring — where its reflections reach
+    both readers and reader-to-reader interference happens. Mobility
+    between zones is a per-tag Poisson handoff process: each event moves
+    the tag to the next reader on the ring (conveyor/portal flow), and
+    :class:`ZoneTrajectory` realises one draw of it.
+
+    Attributes
+    ----------
+    n_readers:
+        Number of concurrently interrogating readers (R).
+    collision_mode:
+        One of :data:`COLLISION_MODES` — how a reader resolves slots that
+        temporally overlap a foreign reflection from its zone.
+    overlap_fraction:
+        Probability that a tag sits in the overlap between its home zone
+        and the next; 0 makes the zones disjoint (no interference at all).
+    cross_gain_db:
+        Power attenuation of an overlap tag's reflection at the *non-home*
+        reader relative to its in-zone gain (≤ 0 dB: the foreign reader is
+        further away).
+    capture_margin_db:
+        Power advantage the desired aggregate needs over the interference
+        for the ``"capture"`` mode to keep the slot clean.
+    handoff_rate_hz:
+        Per-tag Poisson rate (1/s) of moving to the next zone; 0 pins
+        every tag to its initial home.
+    cadence_spread:
+        Fractional spread of the readers' slot periods: reader *r* runs
+        its schedule at ``slot_s · (1 + cadence_spread · r / R)``, so the
+        readers are genuinely asynchronous rather than slot-locked.
+    """
+
+    n_readers: int = 2
+    collision_mode: str = "naive"
+    overlap_fraction: float = 0.3
+    cross_gain_db: float = -6.0
+    capture_margin_db: float = 6.0
+    handoff_rate_hz: float = 0.0
+    cadence_spread: float = 0.1
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.n_readers, "n_readers")
+        if self.collision_mode not in COLLISION_MODES:
+            raise ValueError(
+                f"collision_mode must be one of {COLLISION_MODES}, "
+                f"got {self.collision_mode!r}"
+            )
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError("overlap_fraction must be in [0, 1]")
+        if self.cross_gain_db > 0.0:
+            raise ValueError("cross_gain_db must be <= 0 (an attenuation)")
+        if self.handoff_rate_hz < 0:
+            raise ValueError("handoff_rate_hz must be >= 0")
+        if self.cadence_spread < 0:
+            raise ValueError("cadence_spread must be >= 0")
+
+    @property
+    def cross_gain_amplitude(self) -> float:
+        """Amplitude factor the overlap leakage applies (from power dB)."""
+        return float(np.sqrt(db_to_power(self.cross_gain_db)))
+
+
+class ZoneTrajectory:
+    """One realisation of zone membership over time for a tag population.
+
+    The companion of :class:`ChannelTrajectory` on the *spatial* axis:
+    where that class answers "what is tag *i*'s channel at time *t*",
+    this one answers "which reader's zone does tag *i* occupy at *t*, and
+    which readers can hear it". Handoff times are drawn up front (per tag,
+    Poisson at ``model.handoff_rate_hz`` over ``[0, horizon_s)``), each
+    event advancing the tag to the next reader on the ring, so membership
+    is a pure function of ``(n_tags, model, seed)`` — the campaign
+    engine's determinism contract extends to multi-reader cells. Overlap
+    flags are drawn once per tag and travel with it: an overlap tag is
+    always also covered by the zone *after* its current home.
+
+    Parameters
+    ----------
+    n_tags:
+        Population size.
+    model:
+        The deployment statistics to realise.
+    rng:
+        Dedicated generator (do not share it with the PHY noise stream).
+    horizon_s:
+        Time span over which handoff events are materialised; queries past
+        it see no further handoffs. Callers size it from their slot
+        budget.
+    """
+
+    def __init__(
+        self,
+        n_tags: int,
+        model: MultiReaderModel,
+        rng: np.random.Generator,
+        horizon_s: float = 1.0,
+    ):
+        ensure_positive_int(n_tags, "n_tags")
+        ensure_positive(horizon_s, "horizon_s")
+        self.model = model
+        self.horizon_s = float(horizon_s)
+        r = model.n_readers
+        # Round-robin initial assignment keeps zones balanced at every
+        # population size; the rng-drawn offset decorrelates which tags
+        # share a zone across locations.
+        offset = int(rng.integers(0, r)) if r > 1 else 0
+        self.home0 = (np.arange(n_tags) + offset) % r
+        self.overlap = (
+            rng.random(n_tags) < model.overlap_fraction
+            if r > 1
+            else np.zeros(n_tags, dtype=bool)
+        )
+        self._handoffs: list = []
+        for _ in range(n_tags):
+            times: list = []
+            if r > 1 and model.handoff_rate_hz > 0.0:
+                t = float(rng.exponential(1.0 / model.handoff_rate_hz))
+                while t < self.horizon_s:
+                    times.append(t)
+                    t += float(rng.exponential(1.0 / model.handoff_rate_hz))
+            self._handoffs.append(np.asarray(times, dtype=float))
+
+    def __len__(self) -> int:
+        return int(self.home0.size)
+
+    @property
+    def n_readers(self) -> int:
+        return self.model.n_readers
+
+    def home_at(self, t_s: float) -> np.ndarray:
+        """Per-tag home-reader index at time ``t_s``."""
+        if t_s < 0:
+            raise ValueError("time must be >= 0")
+        hops = np.array(
+            [np.searchsorted(h, t_s, side="right") for h in self._handoffs],
+            dtype=int,
+        )
+        return (self.home0 + hops) % self.n_readers
+
+    def coverage_at(self, t_s: float) -> np.ndarray:
+        """Boolean ``(n_readers, n_tags)`` zone-coverage matrix at ``t_s``.
+
+        Row *r* marks the tags whose reflections reader *r* receives: its
+        own zone's tags plus the overlap tags of the previous zone on the
+        ring. Exactly the condition under which two readers' interrogation
+        zones both cover a reflecting tag — the interference predicate.
+        """
+        home = self.home_at(t_s)
+        cover = np.zeros((self.n_readers, len(self)), dtype=bool)
+        cover[home, np.arange(len(self))] = True
+        if self.n_readers > 1:
+            second = (home + 1) % self.n_readers
+            idx = np.flatnonzero(self.overlap)
+            cover[second[idx], idx] = True
+        return cover
+
+    def handoff_count(self, t_s: float) -> int:
+        """Total handoff events realised up to ``t_s`` (diagnostics)."""
+        return int(
+            sum(np.searchsorted(h, t_s, side="right") for h in self._handoffs)
+        )
 
 
 def channels_for_snr_band(

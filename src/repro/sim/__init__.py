@@ -1,0 +1,33 @@
+"""Discrete-event simulation core: many readers over one tag field.
+
+Everything below :mod:`repro.core` is slot-synchronous under a single
+reader — the paper's bench. Real deployments (warehouses, portals, retail
+floors) run *many* readers whose interrogation zones overlap and whose
+sessions free-run against each other. This package provides:
+
+* :mod:`repro.sim.scheduler` — a monotonic event-heap scheduler with
+  deterministic tie-breaking (the pydesim ``Model``/``simulate`` shape);
+* :mod:`repro.sim.interference` — FADR-style reader-to-reader collision
+  resolution (naive overlap / capture effect / non-orthogonal
+  interference);
+* :mod:`repro.sim.multireader` — reader actors driving their own rateless
+  sessions at their own cadence over a shared, mobile, zone-partitioned
+  tag field;
+* :mod:`repro.sim.scheme` — the ``multi-reader`` :class:`~repro.engine.
+  schemes.UplinkScheme` family, which rolls the simulation up into the
+  standard :class:`~repro.engine.schemes.SchemeResult` so campaigns,
+  caching and every executor backend work unchanged.
+"""
+
+from repro.sim.interference import resolve_slot
+from repro.sim.multireader import MultiReaderOutcome, simulate_multi_reader
+from repro.sim.scheduler import EventScheduler
+from repro.sim.scheme import MultiReaderScheme
+
+__all__ = [
+    "EventScheduler",
+    "MultiReaderOutcome",
+    "MultiReaderScheme",
+    "resolve_slot",
+    "simulate_multi_reader",
+]

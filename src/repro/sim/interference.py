@@ -1,0 +1,110 @@
+"""Reader-to-reader collision resolution — the FADR ladder.
+
+When two readers' interrogation zones both cover a reflecting tag, one
+reader's uplink slot lands inside another's receive window. How much that
+costs depends on the receiver model, and the literature spans a ladder of
+assumptions (FADR and its successors formalise the same three rungs for
+reader scheduling):
+
+``"naive"``
+    Any temporal overlap with foreign energy destroys the slot — the
+    classic colouring-problem assumption. Pessimistic, but the right
+    baseline: schedulers derived from it are safe under every receiver.
+``"capture"``
+    The capture effect: the slot survives *clean* when the desired
+    aggregate outpowers the interference by the capture margin, and is
+    lost otherwise. A binary middle rung — no partial degradation.
+``"interference"``
+    Non-orthogonal superposition: the slot always reaches the decoder,
+    carrying the foreign energy as additional Gaussian noise at the
+    interference power. The rateless code was built for exactly this —
+    collisions are information — so this rung measures how much of the
+    reader-collision problem the code absorbs for free.
+
+:func:`resolve_slot` is the single decision point; the simulator computes
+the two powers from zone geometry and cross-zone gains and then acts on
+the verdict (drop the slot, feed it, or feed it noisier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.channel import COLLISION_MODES
+
+__all__ = ["SlotVerdict", "TransmissionRecord", "resolve_slot"]
+
+#: Interference power below this (linear, relative to unit channel gain) is
+#: treated as silence — keeps exact-zero and denormal sums on the same path.
+_POWER_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class SlotVerdict:
+    """Outcome of collision resolution for one receive slot.
+
+    ``kept`` says whether the slot reaches the decoder at all;
+    ``noise_power`` is the extra Gaussian noise power (linear) the receive
+    carries when it does (0 for clean slots).
+    """
+
+    kept: bool
+    noise_power: float
+
+    @property
+    def degraded(self) -> bool:
+        return self.kept and self.noise_power > 0.0
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One reader's slot on the air, as seen by everyone else.
+
+    Posted at slot start and consulted by every other reader whose receive
+    window overlaps ``[start_s, end_s)``. ``power_at[q]`` is the
+    interference power reader *q* receives from this slot's transmitting
+    tags (cross-zone gain already applied; the posting reader's own entry
+    is zero).
+    """
+
+    reader: int
+    start_s: float
+    end_s: float
+    power_at: np.ndarray
+
+    def overlaps(self, start_s: float, end_s: float) -> bool:
+        """Strict temporal overlap — touching endpoints do not interfere."""
+        return self.start_s < end_s and self.end_s > start_s
+
+
+def resolve_slot(
+    mode: str,
+    signal_power: float,
+    interference_power: float,
+    capture_margin_lin: float,
+) -> SlotVerdict:
+    """Resolve one receive slot against the aggregate foreign power.
+
+    Parameters
+    ----------
+    mode:
+        One of :data:`~repro.phy.channel.COLLISION_MODES`.
+    signal_power:
+        Aggregate power (linear) of the desired reflections this slot.
+    interference_power:
+        Aggregate foreign power (linear) overlapping the slot.
+    capture_margin_lin:
+        Linear capture margin (``"capture"`` mode only).
+    """
+    if mode not in COLLISION_MODES:
+        raise ValueError(f"unknown collision mode {mode!r}")
+    if interference_power <= _POWER_FLOOR:
+        return SlotVerdict(kept=True, noise_power=0.0)
+    if mode == "naive":
+        return SlotVerdict(kept=False, noise_power=0.0)
+    if mode == "capture":
+        kept = signal_power >= capture_margin_lin * interference_power
+        return SlotVerdict(kept=kept, noise_power=0.0)
+    return SlotVerdict(kept=True, noise_power=float(interference_power))

@@ -1,0 +1,85 @@
+"""Monotonic event-heap scheduler — the simulator's clock.
+
+A deliberately tiny discrete-event kernel (the pydesim ``Model`` /
+``simulate`` pattern): callers schedule ``(time, callback)`` pairs,
+:meth:`EventScheduler.run` pops them in time order and invokes each with
+the scheduler as argument so handlers can schedule follow-up events.
+
+Determinism is the design constraint, not throughput: events at equal
+times fire in *scheduling* order (a monotonically increasing sequence
+number breaks heap ties), so two runs that schedule the same events in
+the same order consume any shared random generator in the same order —
+which is what lets a whole multi-reader simulation remain a pure function
+of its seed, and every executor backend stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Priority queue of timed callbacks with a monotonic clock.
+
+    Attributes
+    ----------
+    now:
+        Virtual time of the event currently (or most recently) firing.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[["EventScheduler"], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self._events_fired = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_fired(self) -> int:
+        """Events processed so far (diagnostics / loop-bound sanity)."""
+        return self._events_fired
+
+    def at(self, time_s: float, callback: Callable[["EventScheduler"], None]) -> None:
+        """Schedule ``callback`` at absolute time ``time_s``.
+
+        The clock is monotonic: scheduling into the past (before the event
+        currently firing) is a logic error, not a silent reorder.
+        """
+        if time_s < self.now:
+            raise ValueError(
+                f"cannot schedule into the past ({time_s:.6g} < now={self.now:.6g})"
+            )
+        heapq.heappush(self._heap, (float(time_s), self._seq, callback))
+        self._seq += 1
+
+    def after(
+        self, delay_s: float, callback: Callable[["EventScheduler"], None]
+    ) -> None:
+        """Schedule ``callback`` ``delay_s`` after the current time."""
+        if delay_s < 0:
+            raise ValueError("delay must be >= 0")
+        self.at(self.now + delay_s, callback)
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Fire events in time order until the heap drains; return end time.
+
+        ``max_events`` is a runaway backstop (an actor re-scheduling
+        itself unconditionally would otherwise spin forever); hitting it
+        raises rather than returning a silently truncated simulation.
+        """
+        while self._heap:
+            time_s, _, callback = heapq.heappop(self._heap)
+            self.now = time_s
+            self._events_fired += 1
+            if self._events_fired > max_events:
+                raise RuntimeError(
+                    f"event budget exhausted ({max_events}); "
+                    "an actor is likely re-scheduling unconditionally"
+                )
+            callback(self)
+        return self.now

@@ -21,7 +21,7 @@ class TestCli:
         expected = {
             "toy", "fig2", "fig3", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "headline",
+            "fig17", "headline",
         }
         assert set(_EXPERIMENTS) == expected
 
